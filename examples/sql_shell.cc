@@ -1,0 +1,121 @@
+// Interactive SQL shell over CSV files.
+//
+//   $ ./sql_shell data1.csv data2.csv ...
+//   gsopt> SELECT * FROM data1 LEFT JOIN data2 ON data1.k = data2.k
+//   gsopt> \explain SELECT ...
+//   gsopt> \plans  SELECT ...        (enumerate the full plan space)
+//   gsopt> \tables
+//   gsopt> \q
+//
+// Each CSV becomes a table named after its basename (without extension).
+// Every query is optimized (simplify -> normalize -> hypergraph ->
+// enumerate -> cost) before execution.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "algebra/execute.h"
+#include "algebra/explain.h"
+#include "core/optimizer.h"
+#include "relational/csv.h"
+#include "sql/binder.h"
+
+using namespace gsopt;  // NOLINT: example brevity
+
+namespace {
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path
+                                                : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return name;
+}
+
+void RunQuery(const std::string& text, const Catalog& cat, bool explain,
+              bool show_plans) {
+  auto tree = sql::ParseAndBind(text, cat);
+  if (!tree.ok()) {
+    std::printf("error: %s\n", tree.status().ToString().c_str());
+    return;
+  }
+  QueryOptimizer opt(cat);
+  if (show_plans) {
+    OptimizeOptions oo;
+    oo.prune = false;
+    auto plans = opt.EnumerateFullPlans(*tree, oo);
+    if (!plans.ok()) {
+      std::printf("error: %s\n", plans.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu plans:\n", plans->size());
+    for (const PlanInfo& p : *plans) {
+      std::printf("  cost=%-12.0f %s\n", p.cost, p.expr->ToString().c_str());
+    }
+    return;
+  }
+  auto result = opt.Optimize(*tree);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (explain) {
+    std::printf("%zu plans considered; chosen (cost %.0f, as-written %.0f):\n",
+                result->plans_considered, result->best.cost,
+                result->original_cost);
+    std::printf("%s", Explain(result->best.expr, opt.cost_model()).c_str());
+    return;
+  }
+  auto rel = Execute(result->best.expr, cat);
+  if (!rel.ok()) {
+    std::printf("error: %s\n", rel.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", ToCsv(*rel).c_str());
+  std::printf("(%d rows)\n", rel->NumRows());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Catalog cat;
+  for (int i = 1; i < argc; ++i) {
+    std::string table = BaseName(argv[i]);
+    Status st = LoadCsvFile(argv[i], table, &cat);
+    if (!st.ok()) {
+      std::printf("failed to load %s: %s\n", argv[i], st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s as table '%s' (%d rows)\n", argv[i], table.c_str(),
+                cat.Find(table)->NumRows());
+  }
+  if (argc < 2) {
+    std::printf("usage: sql_shell <file.csv> [more.csv ...]\n");
+    return 1;
+  }
+
+  std::string line;
+  std::printf("gsopt> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "\\q" || line == "quit" || line == "exit") break;
+    if (line == "\\tables") {
+      for (const std::string& t : cat.TableNames()) {
+        const Relation* r = cat.Find(t);
+        std::printf("  %s %s (%d rows)\n", t.c_str(),
+                    r->schema().ToString().c_str(), r->NumRows());
+      }
+    } else if (line.rfind("\\explain ", 0) == 0) {
+      RunQuery(line.substr(9), cat, /*explain=*/true, /*show_plans=*/false);
+    } else if (line.rfind("\\plans ", 0) == 0) {
+      RunQuery(line.substr(7), cat, /*explain=*/false, /*show_plans=*/true);
+    } else if (!line.empty()) {
+      RunQuery(line, cat, /*explain=*/false, /*show_plans=*/false);
+    }
+    std::printf("gsopt> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

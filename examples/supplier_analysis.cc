@@ -1,0 +1,124 @@
+// Paper Example 1.1 end to end: the supplier-review query over
+// 94AGG / 95DETAIL / SUP_DETAIL, where an outer-join predicate references
+// a COUNT produced by an aggregation view.
+//
+// The optimizer pulls the aggregation above the joins (deferring the
+// COUNT-referencing conjunct into a generalized selection), which exposes
+// the plan the paper advocates: filter 94AGG by the BANKRUPT suppliers
+// first, join it with 95DETAIL, and only then aggregate.
+//
+//   $ ./supplier_analysis
+#include <chrono>
+#include <cstdio>
+
+#include "algebra/execute.h"
+#include "base/rng.h"
+#include "core/optimizer.h"
+#include "relational/catalog.h"
+
+using namespace gsopt;  // NOLINT: example brevity
+
+namespace {
+
+Catalog MakeData(int nsup, int n94, int n95, double bankrupt_frac,
+                 uint64_t seed) {
+  Catalog cat;
+  Rng rng(seed);
+  (void)cat.CreateTable("agg94", {"supkey", "partkey", "qty"});
+  (void)cat.CreateTable("detail95", {"supkey", "partkey", "qty"});
+  (void)cat.CreateTable("sup", {"supkey", "rating"});
+  for (int i = 0; i < nsup; ++i) {
+    (void)cat.Insert("sup", {Value::Int(i),
+                             Value::Int(rng.Bernoulli(bankrupt_frac) ? 0 : 1)});
+  }
+  for (int i = 0; i < n94; ++i) {
+    (void)cat.Insert("agg94",
+                     {Value::Int(rng.Uniform(0, nsup - 1)),
+                      Value::Int(rng.Uniform(0, 5)),
+                      Value::Int(rng.Uniform(1, 30))});
+  }
+  for (int i = 0; i < n95; ++i) {
+    (void)cat.Insert("detail95",
+                     {Value::Int(rng.Uniform(0, nsup - 1)),
+                      Value::Int(rng.Uniform(0, 5)),
+                      Value::Int(rng.Uniform(1, 30))});
+  }
+  return cat;
+}
+
+NodePtr BuildQuery(const Catalog&) {
+  // V2 = 94AGG x SUP_DETAIL filtered to BANKRUPT suppliers.
+  NodePtr v2 = Node::Join(
+      Node::Leaf("agg94"),
+      Node::Select(Node::Leaf("sup"),
+                   Predicate(MakeConstAtom("sup", "rating", CmpOp::kEq,
+                                           Value::Int(0)))),
+      Predicate(MakeAtom("agg94", "supkey", CmpOp::kEq, "sup", "supkey")));
+  // V3 = SELECT supkey, partkey, COUNT(*) AS aggqty95 FROM detail95 GROUP BY.
+  exec::GroupBySpec spec;
+  spec.group_cols = {Attribute{"detail95", "supkey"},
+                     Attribute{"detail95", "partkey"}};
+  exec::AggSpec cnt;
+  cnt.func = exec::AggFunc::kCountStar;
+  cnt.out_rel = "V3";
+  cnt.out_name = "aggqty95";
+  spec.aggs = {cnt};
+  NodePtr v3 = Node::GroupBy(Node::Leaf("detail95"), spec);
+
+  // V2 LEFT OUTER JOIN V3 ON supkey =, partkey =, qty < 2 * aggqty95.
+  Predicate p;
+  p.AddAtom(MakeAtom("agg94", "supkey", CmpOp::kEq, "detail95", "supkey"));
+  p.AddAtom(MakeAtom("agg94", "partkey", CmpOp::kEq, "detail95", "partkey"));
+  Atom agg_atom;
+  agg_atom.lhs = Scalar::Column("agg94", "qty");
+  agg_atom.op = CmpOp::kLt;
+  agg_atom.rhs = Scalar::Arith(ArithOp::kMul, Scalar::Const(Value::Int(2)),
+                               Scalar::Column("V3", "aggqty95"));
+  p.AddAtom(agg_atom);
+  return Node::LeftOuterJoin(v2, v3, p);
+}
+
+double MeasureMs(const NodePtr& plan, const Catalog& cat) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto r = Execute(plan, cat);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!r.ok()) return -1;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Example 1.1 (paper §1.1): suppliers to discontinue\n"
+      "----------------------------------------------------\n\n");
+  for (double frac : {0.5, 0.2, 0.05}) {
+    Catalog cat = MakeData(/*nsup=*/40, /*n94=*/60, /*n95=*/1200, frac, 42);
+    NodePtr query = BuildQuery(cat);
+    QueryOptimizer opt(cat);
+    auto result = opt.Optimize(query);
+    if (!result.ok()) {
+      std::printf("optimize error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    auto ref = Execute(query, cat);
+    auto got = Execute(result->best.expr, cat);
+    double t_as_written = MeasureMs(query, cat);
+    double t_best = MeasureMs(result->best.expr, cat);
+    std::printf("bankrupt fraction %.2f:\n", frac);
+    std::printf("  plans considered:  %zu\n", result->plans_considered);
+    std::printf("  est. cost: as-written %.0f, chosen %.0f (%.2fx)\n",
+                result->original_cost, result->best.cost,
+                result->original_cost / result->best.cost);
+    std::printf("  measured: as-written %.2f ms, chosen %.2f ms\n",
+                t_as_written, t_best);
+    std::printf("  results match: %s, rows: %d\n\n",
+                Relation::BagEquals(*ref, *got) ? "yes" : "NO",
+                ref->NumRows());
+  }
+  std::printf(
+      "The more selective the BANKRUPT filter, the more the reordering\n"
+      "(join 94AGG/SUP_DETAIL with 95DETAIL before aggregating) wins --\n"
+      "the trade-off the paper describes.\n");
+  return 0;
+}

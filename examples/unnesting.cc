@@ -1,0 +1,104 @@
+// Paper §1.1 join-aggregate queries: the doubly-nested correlated COUNT
+// query executed three ways --
+//   1. tuple iteration semantics (what commercial RDBMS of the era did),
+//   2. Ganski/Muralikrishna-style unnesting (paper Query 2/3), and
+//   3. the unnested form further reordered by the optimizer (only possible
+//      because the complex correlation predicate can be broken with a
+//      generalized selection).
+//
+//   $ ./unnesting
+#include <chrono>
+#include <cstdio>
+
+#include "algebra/execute.h"
+#include "base/rng.h"
+#include "core/optimizer.h"
+#include "relational/datagen.h"
+#include "unnest/nested_query.h"
+
+using namespace gsopt;  // NOLINT: example brevity
+
+namespace {
+
+NestedQuery BuildQuery() {
+  // SELECT r1.a FROM r1 WHERE r1.b >= (SELECT COUNT(*) FROM r2
+  //   WHERE r2.c = r1.c AND r2.a < (SELECT COUNT(*) FROM r3
+  //     WHERE r2.b = r3.b AND r1.a = r3.a))
+  NestedQuery q;
+  q.outer.table = "r1";
+  q.outer.condition = CountCondition{Scalar::Column("r1", "b"), CmpOp::kGe};
+  auto mid = std::make_shared<NestedBlock>();
+  mid->table = "r2";
+  mid->correlation = Predicate(MakeAtom("r2", "c", CmpOp::kEq, "r1", "c"));
+  mid->condition = CountCondition{Scalar::Column("r2", "a"), CmpOp::kLt};
+  auto inner = std::make_shared<NestedBlock>();
+  inner->table = "r3";
+  inner->correlation =
+      Predicate({MakeAtom("r2", "b", CmpOp::kEq, "r3", "b"),
+                 MakeAtom("r1", "a", CmpOp::kEq, "r3", "a")});
+  mid->nested = inner;
+  q.outer.nested = mid;
+  q.select_cols = {Attribute{"r1", "a"}};
+  return q;
+}
+
+template <typename F>
+double TimeMs(F&& f) {
+  auto t0 = std::chrono::steady_clock::now();
+  f();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  for (int n1 : {20, 60, 120}) {
+    Catalog cat;
+    Rng rng(7);
+    RandomRelationOptions opt;
+    opt.domain = 6;
+    opt.null_fraction = 0.05;
+    opt.num_rows = n1;
+    (void)cat.Register("r1", MakeRandomRelation("r1", {"a", "b", "c"}, opt,
+                                                &rng));
+    opt.num_rows = 40;
+    (void)cat.Register("r2", MakeRandomRelation("r2", {"a", "b", "c"}, opt,
+                                                &rng));
+    opt.num_rows = 40;
+    (void)cat.Register("r3", MakeRandomRelation("r3", {"a", "b", "c"}, opt,
+                                                &rng));
+
+    NestedQuery q = BuildQuery();
+
+    Relation tis_result;
+    double t_tis = TimeMs([&] { tis_result = *ExecuteTis(q, cat); });
+
+    auto unnested = UnnestToAlgebra(q, cat);
+    if (!unnested.ok()) {
+      std::printf("unnest error: %s\n", unnested.status().ToString().c_str());
+      return 1;
+    }
+    Relation un_result;
+    double t_un = TimeMs([&] { un_result = *Execute(*unnested, cat); });
+
+    QueryOptimizer opt2(cat);
+    auto best = opt2.Optimize(*unnested);
+    Relation opt_result;
+    double t_opt =
+        TimeMs([&] { opt_result = *Execute(best->best.expr, cat); });
+
+    std::printf("|r1| = %3d:  TIS %8.2f ms   unnested %7.2f ms   "
+                "unnested+reordered %7.2f ms   (rows %d, all match: %s)\n",
+                n1, t_tis, t_un, t_opt, tis_result.NumRows(),
+                Relation::BagEquals(tis_result, un_result) &&
+                        Relation::BagEquals(tis_result, opt_result)
+                    ? "yes"
+                    : "NO");
+  }
+  std::printf(
+      "\nTIS re-scans the inner blocks per outer tuple (quadratic-plus);\n"
+      "unnesting evaluates each join once; the generalized selection lets\n"
+      "the optimizer also reorder across the complex correlation predicate.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "algebra/execute.h"
+
+#include "exec/aggregate.h"
+#include "exec/eval.h"
+
+namespace gsopt {
+
+StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog) {
+  if (node == nullptr) return Status::InvalidArgument("null plan node");
+  switch (node->kind()) {
+    case OpKind::kLeaf:
+      return catalog.Get(node->table());
+    case OpKind::kSelect: {
+      GSOPT_ASSIGN_OR_RETURN(Relation child,
+                             Execute(node->left(), catalog));
+      return exec::Select(child, node->pred());
+    }
+    case OpKind::kProject: {
+      GSOPT_ASSIGN_OR_RETURN(Relation child,
+                             Execute(node->left(), catalog));
+      if (node->projection_out() != node->projection()) {
+        return exec::ProjectAs(child, node->projection(),
+                               node->projection_out());
+      }
+      return exec::Project(child, node->projection());
+    }
+    case OpKind::kGeneralizedSelection: {
+      GSOPT_ASSIGN_OR_RETURN(Relation child,
+                             Execute(node->left(), catalog));
+      return exec::GeneralizedSelection(child, node->pred(), node->groups());
+    }
+    case OpKind::kGroupBy: {
+      GSOPT_ASSIGN_OR_RETURN(Relation child,
+                             Execute(node->left(), catalog));
+      return exec::GeneralizedProjection(child, node->groupby());
+    }
+    default:
+      break;
+  }
+  GSOPT_ASSIGN_OR_RETURN(Relation l, Execute(node->left(), catalog));
+  GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(node->right(), catalog));
+  switch (node->kind()) {
+    case OpKind::kInnerJoin:
+      return exec::InnerJoin(l, r, node->pred());
+    case OpKind::kLeftOuterJoin:
+      return exec::LeftOuterJoin(l, r, node->pred());
+    case OpKind::kRightOuterJoin:
+      return exec::RightOuterJoin(l, r, node->pred());
+    case OpKind::kFullOuterJoin:
+      return exec::FullOuterJoin(l, r, node->pred());
+    case OpKind::kAntiJoin:
+      return exec::AntiJoin(l, r, node->pred());
+    case OpKind::kSemiJoin:
+      return exec::SemiJoin(l, r, node->pred());
+    case OpKind::kMgoj:
+      return exec::Mgoj(l, r, node->pred(), node->groups());
+    default:
+      return Status::Internal("unhandled operator " +
+                              OpKindName(node->kind()));
+  }
+}
+
+StatusOr<bool> ExecutionEquivalent(const NodePtr& a, const NodePtr& b,
+                                   const Catalog& catalog) {
+  GSOPT_ASSIGN_OR_RETURN(Relation ra, Execute(a, catalog));
+  GSOPT_ASSIGN_OR_RETURN(Relation rb, Execute(b, catalog));
+  return Relation::BagEquals(ra, rb);
+}
+
+}  // namespace gsopt

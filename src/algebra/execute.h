@@ -1,0 +1,22 @@
+// Interpreter: evaluates a logical expression tree against a catalog by
+// invoking the executor kernels. This is the ground-truth semantics used by
+// every equivalence property test and by the benchmark harnesses.
+#ifndef GSOPT_ALGEBRA_EXECUTE_H_
+#define GSOPT_ALGEBRA_EXECUTE_H_
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+
+namespace gsopt {
+
+StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog);
+
+// Executes both expressions and compares visible extensions (bag equality
+// over qualified attribute names).
+StatusOr<bool> ExecutionEquivalent(const NodePtr& a, const NodePtr& b,
+                                   const Catalog& catalog);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_ALGEBRA_EXECUTE_H_

@@ -1,0 +1,74 @@
+#include "algebra/explain.h"
+
+#include <cstdio>
+
+namespace gsopt {
+
+namespace {
+
+std::string OneLine(const Node& n) {
+  switch (n.kind()) {
+    case OpKind::kLeaf:
+      return "scan " + n.table();
+    case OpKind::kSelect:
+      return "SELECT[" + n.pred().ToString() + "]";
+    case OpKind::kProject: {
+      std::string s = "PROJECT[";
+      const auto& outs = n.projection_out();
+      for (size_t i = 0; i < outs.size(); ++i) {
+        if (i) s += ", ";
+        s += outs[i].Qualified();
+      }
+      return s + "]";
+    }
+    case OpKind::kGroupBy:
+      return n.groupby().ToString();
+    case OpKind::kGeneralizedSelection: {
+      std::string s = "GS[" + n.pred().ToString() + ";";
+      for (const auto& g : n.groups()) {
+        s += " {";
+        bool first = true;
+        for (const auto& rel : g) {
+          if (!first) s += " ";
+          s += rel;
+          first = false;
+        }
+        s += "}";
+      }
+      return s + "]";
+    }
+    case OpKind::kMgoj: {
+      std::string s = "MGOJ[" + n.pred().ToString() + "]";
+      return s;
+    }
+    default:
+      return OpKindName(n.kind()) + "[" + n.pred().ToString() + "]";
+  }
+}
+
+void Render(const NodePtr& n, const CostModel& model, int depth,
+            std::string* out) {
+  CostEstimate est = model.Estimate(n);
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += OneLine(*n);
+  if (line.size() < 58) line.resize(58, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " rows=%-10.0f cost=%.0f", est.rows,
+                est.cost);
+  line += buf;
+  out->append(line);
+  out->push_back('\n');
+  if (n->left()) Render(n->left(), model, depth + 1, out);
+  if (n->right()) Render(n->right(), model, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Explain(const NodePtr& plan, const CostModel& model) {
+  std::string out;
+  if (plan == nullptr) return out;
+  Render(plan, model, 0, &out);
+  return out;
+}
+
+}  // namespace gsopt

@@ -1,0 +1,24 @@
+// EXPLAIN-style plan rendering: an indented operator tree annotated with
+// the cost model's per-node cardinality and cumulative cost estimates.
+#ifndef GSOPT_ALGEBRA_EXPLAIN_H_
+#define GSOPT_ALGEBRA_EXPLAIN_H_
+
+#include <string>
+
+#include "algebra/node.h"
+#include "optimizer/cost_model.h"
+
+namespace gsopt {
+
+// Multi-line rendering, e.g.
+//   GS[p; {r1 r2}]                      rows=12    cost=340
+//     LOJ[r2.e = r3.e]                  rows=15    cost=310
+//       LOJ[r1.c = r2.c]                rows=9     cost=120
+//         scan r1                       rows=6     cost=6
+//         scan r2                       rows=4     cost=4
+//       scan r3                         rows=5     cost=5
+std::string Explain(const NodePtr& plan, const CostModel& model);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_ALGEBRA_EXPLAIN_H_

@@ -1,0 +1,17 @@
+// Static output-schema inference for logical expression trees (no
+// execution). Used by normalization (aggregation pull-up needs the column
+// inventory of the non-aggregated side) and by the SQL binder.
+#ifndef GSOPT_ALGEBRA_SCHEMA_INFER_H_
+#define GSOPT_ALGEBRA_SCHEMA_INFER_H_
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+
+namespace gsopt {
+
+StatusOr<Schema> InferSchema(const NodePtr& node, const Catalog& catalog);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_ALGEBRA_SCHEMA_INFER_H_

@@ -1,0 +1,32 @@
+// Outer-join simplification ([BHAR95c], the paper's stated precondition:
+// "we assume that queries have been simplified ... so that they do not
+// contain any redundant (full) outer join edges; that is, we assume queries
+// are simple [GALI92a]").
+//
+// A null-intolerant predicate applied above an outer join rejects every row
+// the outer join padded on the predicate's relations, which makes the
+// padding unobservable: the outer join degenerates. Rules (driven top-down
+// with the set NR of "null-rejected" relations):
+//   LOJ with NR touching its null-supplying side      -> inner join
+//   FOJ with NR touching one side                     -> LOJ / ROJ
+//   FOJ with NR touching both sides                   -> inner join
+#ifndef GSOPT_ALGEBRA_SIMPLIFY_H_
+#define GSOPT_ALGEBRA_SIMPLIFY_H_
+
+#include "algebra/node.h"
+
+namespace gsopt {
+
+// Returns the simplified equivalent of a join/outer-join expression tree.
+// Non-join operators (GS, group-by, select, project) are left in place;
+// simplification recurses through unary operators using their predicates'
+// null rejection where sound.
+NodePtr SimplifyOuterJoins(const NodePtr& query);
+
+// True if SimplifyOuterJoins leaves the tree unchanged (the paper's
+// "simple query" precondition for reordering).
+bool IsSimpleQuery(const NodePtr& query);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_ALGEBRA_SIMPLIFY_H_

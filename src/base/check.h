@@ -1,0 +1,37 @@
+// Invariant-checking macros. The library does not use exceptions (fallible
+// public paths return Status/StatusOr); internal invariant violations abort
+// with a source location, which is the behaviour a database kernel wants for
+// logic errors that would otherwise corrupt results silently.
+#ifndef GSOPT_BASE_CHECK_H_
+#define GSOPT_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GSOPT_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GSOPT_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define GSOPT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "GSOPT_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define GSOPT_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define GSOPT_DCHECK(cond) GSOPT_CHECK(cond)
+#endif
+
+#endif  // GSOPT_BASE_CHECK_H_

@@ -1,0 +1,99 @@
+// RelSet: a value-type bitset over base-relation ids (max 64 relations per
+// query block, far above practical join sizes). Used pervasively by the
+// hypergraph, enumerator and optimizer DP tables.
+#ifndef GSOPT_BASE_RELSET_H_
+#define GSOPT_BASE_RELSET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace gsopt {
+
+class RelSet {
+ public:
+  constexpr RelSet() : bits_(0) {}
+  constexpr explicit RelSet(uint64_t bits) : bits_(bits) {}
+  RelSet(std::initializer_list<int> ids) : bits_(0) {
+    for (int id : ids) Add(id);
+  }
+
+  static constexpr int kMaxRelations = 64;
+
+  static RelSet Single(int id) {
+    RelSet s;
+    s.Add(id);
+    return s;
+  }
+  // {0, 1, ..., n-1}
+  static RelSet FirstN(int n) {
+    GSOPT_DCHECK(n >= 0 && n <= kMaxRelations);
+    if (n == 64) return RelSet(~0ull);
+    return RelSet((1ull << n) - 1);
+  }
+
+  void Add(int id) {
+    GSOPT_DCHECK(id >= 0 && id < kMaxRelations);
+    bits_ |= (1ull << id);
+  }
+  void Remove(int id) {
+    GSOPT_DCHECK(id >= 0 && id < kMaxRelations);
+    bits_ &= ~(1ull << id);
+  }
+  bool Contains(int id) const {
+    GSOPT_DCHECK(id >= 0 && id < kMaxRelations);
+    return (bits_ >> id) & 1;
+  }
+  bool ContainsAll(RelSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  bool Intersects(RelSet other) const { return (bits_ & other.bits_) != 0; }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return __builtin_popcountll(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  // Lowest set id; undefined on empty set.
+  int First() const {
+    GSOPT_DCHECK(!Empty());
+    return __builtin_ctzll(bits_);
+  }
+
+  RelSet Union(RelSet o) const { return RelSet(bits_ | o.bits_); }
+  RelSet Intersect(RelSet o) const { return RelSet(bits_ & o.bits_); }
+  RelSet Minus(RelSet o) const { return RelSet(bits_ & ~o.bits_); }
+
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    uint64_t b = bits_;
+    while (b) {
+      out.push_back(__builtin_ctzll(b));
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  std::string ToString() const {
+    std::string s = "{";
+    bool first = true;
+    for (int id : ToVector()) {
+      if (!first) s += ",";
+      s += std::to_string(id);
+      first = false;
+    }
+    return s + "}";
+  }
+
+  friend bool operator==(RelSet a, RelSet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(RelSet a, RelSet b) { return a.bits_ != b.bits_; }
+  friend bool operator<(RelSet a, RelSet b) { return a.bits_ < b.bits_; }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_BASE_RELSET_H_

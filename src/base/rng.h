@@ -1,0 +1,49 @@
+// Deterministic, seedable PRNG (splitmix64 + xoshiro-style mixing) so every
+// test, data generator and benchmark is reproducible across platforms
+// independent of libstdc++'s distribution implementations.
+#ifndef GSOPT_BASE_RNG_H_
+#define GSOPT_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace gsopt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {
+    // Warm up so nearby seeds diverge immediately.
+    Next64();
+    Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    GSOPT_DCHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next64());  // full range
+    return lo + static_cast<int64_t>(Next64() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_BASE_RNG_H_

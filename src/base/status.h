@@ -1,0 +1,137 @@
+// Minimal Status / StatusOr, modeled on absl::Status, for fallible paths
+// (SQL parsing, binding, plan validation). Exceptions are not used.
+#ifndef GSOPT_BASE_STATUS_H_
+#define GSOPT_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/check.h"
+
+namespace gsopt {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnimplemented,
+  kInternal,
+  kOutOfRange,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kUnimplemented:
+        return "Unimplemented";
+      case StatusCode::kInternal:
+        return "Internal";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value or an error status. `value()` aborts on error; use
+// `ok()` first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    GSOPT_CHECK(!std::get<Status>(rep_).ok());
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    GSOPT_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    GSOPT_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    GSOPT_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+#define GSOPT_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::gsopt::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define GSOPT_CONCAT_INNER_(a, b) a##b
+#define GSOPT_CONCAT_(a, b) GSOPT_CONCAT_INNER_(a, b)
+
+#define GSOPT_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  GSOPT_ASSIGN_OR_RETURN_IMPL_(GSOPT_CONCAT_(_sor_, __LINE__), lhs, rexpr)
+
+#define GSOPT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+}  // namespace gsopt
+
+#endif  // GSOPT_BASE_STATUS_H_

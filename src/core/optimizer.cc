@@ -1,0 +1,80 @@
+#include "core/optimizer.h"
+
+#include "hypergraph/querygraph.h"
+
+namespace gsopt {
+
+StatusOr<std::vector<PlanInfo>> QueryOptimizer::EnumerateFullPlans(
+    const NodePtr& query, const OptimizeOptions& options) const {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  // Reorder below a root projection (the SQL binder's output shape), then
+  // re-apply it on every plan.
+  if (query->kind() == OpKind::kProject) {
+    GSOPT_ASSIGN_OR_RETURN(std::vector<PlanInfo> inner,
+                           EnumerateFullPlans(query->left(), options));
+    for (PlanInfo& p : inner) {
+      p.expr = (query->projection_out() != query->projection())
+                   ? Node::ProjectAs(p.expr, query->projection(),
+                                     query->projection_out())
+                   : Node::Project(p.expr, query->projection());
+      p.cost = cost_model_.Cost(p.expr);
+    }
+    return inner;
+  }
+  NodePtr simplified =
+      options.simplify ? SimplifyOuterJoins(query) : query;
+  GSOPT_ASSIGN_OR_RETURN(NormalizedQuery nq,
+                         NormalizeForReordering(simplified, catalog_));
+
+  std::vector<NodePtr> trees;
+  auto qg = BuildQueryGraph(nq.join_tree, catalog_);
+  if (qg.ok() && qg->hypergraph.NumRelations() >= 1) {
+    EnumOptions eo;
+    eo.mode = options.mode;
+    eo.max_plans = options.max_plans;
+    if (options.prune) {
+      eo.cost_fn = [this](const NodePtr& n) { return cost_model_.Cost(n); };
+    }
+    Enumerator en(qg->hypergraph, eo);
+    en.SetLeafExprs(qg->leaf_exprs);
+    auto plans = en.EnumerateAll();
+    if (plans.ok()) {
+      for (const PlanCandidate& c : *plans) trees.push_back(c.expr);
+    }
+  }
+  if (trees.empty()) {
+    // Fallback: the normalized tree as-is (e.g. a single opaque unit).
+    trees.push_back(nq.join_tree);
+  }
+
+  std::vector<PlanInfo> out;
+  out.reserve(trees.size() + 1);
+  for (const NodePtr& t : trees) {
+    GSOPT_ASSIGN_OR_RETURN(NodePtr full, ApplyWrappers(nq, t, catalog_));
+    out.push_back(PlanInfo{full, cost_model_.Cost(full)});
+  }
+  // No-regression guarantee: normalization (e.g. aggregation pull-up into
+  // cartesian outer joins) can make EVERY reordered plan worse than the
+  // as-written form; the original always stays a candidate.
+  out.push_back(PlanInfo{simplified, cost_model_.Cost(simplified)});
+  return out;
+}
+
+StatusOr<OptimizeResult> QueryOptimizer::Optimize(
+    const NodePtr& query, const OptimizeOptions& options) const {
+  GSOPT_ASSIGN_OR_RETURN(std::vector<PlanInfo> plans,
+                         EnumerateFullPlans(query, options));
+  OptimizeResult result;
+  result.original = query;
+  result.simplified = options.simplify ? SimplifyOuterJoins(query) : query;
+  result.original_cost = cost_model_.Cost(query);
+  result.plans_considered = plans.size();
+  const PlanInfo* best = &plans[0];
+  for (const PlanInfo& p : plans) {
+    if (p.cost < best->cost) best = &p;
+  }
+  result.best = *best;
+  return result;
+}
+
+}  // namespace gsopt

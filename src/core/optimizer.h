@@ -1,0 +1,74 @@
+// Public facade: end-to-end query optimization.
+//
+//   QueryOptimizer opt(catalog);
+//   auto result = opt.Optimize(query);
+//   Relation answer = *Execute(result->best.expr, catalog);
+//
+// Pipeline (paper §4): simplify outer joins ([BHAR95c] precondition) ->
+// normalize (pull aggregations to the root, defer aggregate-referencing
+// conjuncts into generalized selections) -> build the query hypergraph ->
+// enumerate association trees / assign operators (Definition 3.2 + GS +
+// MGOJ, or the restricted baseline modes) -> cost and pick the best plan ->
+// re-apply the wrapper stack above it.
+#ifndef GSOPT_CORE_OPTIMIZER_H_
+#define GSOPT_CORE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "algebra/execute.h"
+#include "algebra/node.h"
+#include "algebra/normalize.h"
+#include "algebra/simplify.h"
+#include "base/status.h"
+#include "enumerate/enumerator.h"
+#include "optimizer/cost_model.h"
+#include "relational/catalog.h"
+
+namespace gsopt {
+
+struct OptimizeOptions {
+  EnumMode mode = EnumMode::kGeneralized;
+  // Selinger-style DP pruning (cheapest subplan per compensation state).
+  // Disable to enumerate the complete plan space.
+  bool prune = true;
+  bool simplify = true;
+  size_t max_plans = 2000000;
+};
+
+struct PlanInfo {
+  NodePtr expr;
+  double cost = 0.0;
+};
+
+struct OptimizeResult {
+  NodePtr original;
+  NodePtr simplified;
+  PlanInfo best;
+  double original_cost = 0.0;
+  size_t plans_considered = 0;
+};
+
+class QueryOptimizer {
+ public:
+  explicit QueryOptimizer(const Catalog& catalog)
+      : catalog_(catalog), cost_model_(Statistics::Collect(catalog)) {}
+
+  StatusOr<OptimizeResult> Optimize(const NodePtr& query,
+                                    const OptimizeOptions& options = {}) const;
+
+  // Every valid complete plan (wrappers applied), costed. With
+  // options.prune the list is the DP frontier, not the full space.
+  StatusOr<std::vector<PlanInfo>> EnumerateFullPlans(
+      const NodePtr& query, const OptimizeOptions& options = {}) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  const Catalog& catalog_;
+  CostModel cost_model_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_CORE_OPTIMIZER_H_

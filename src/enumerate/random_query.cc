@@ -1,0 +1,78 @@
+#include "enumerate/random_query.h"
+
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace gsopt {
+
+namespace {
+
+std::string ColName(int c) { return std::string(1, static_cast<char>('a' + c)); }
+
+struct Builder {
+  const RandomQueryOptions& opt;
+  Rng* rng;
+
+  std::string RandomRel(const std::vector<int>& rels) const {
+    int i = static_cast<int>(rng->Uniform(0, rels.size() - 1));
+    return "r" + std::to_string(rels[i]);
+  }
+
+  Atom RandomAtom(const std::vector<int>& left,
+                  const std::vector<int>& right) const {
+    CmpOp ops[] = {CmpOp::kEq, CmpOp::kEq, CmpOp::kEq,
+                   CmpOp::kLe, CmpOp::kNe};
+    CmpOp op = ops[rng->Uniform(0, 4)];
+    return MakeAtom(RandomRel(left), ColName(static_cast<int>(
+                                         rng->Uniform(0, opt.num_cols - 1))),
+                    op, RandomRel(right),
+                    ColName(static_cast<int>(rng->Uniform(0, opt.num_cols - 1))));
+  }
+
+  NodePtr Build(std::vector<int> rels) const {
+    if (rels.size() == 1) {
+      return Node::Leaf("r" + std::to_string(rels[0]));
+    }
+    // Random split.
+    size_t k = 1 + static_cast<size_t>(rng->Uniform(0, rels.size() - 2));
+    // Shuffle.
+    for (size_t i = rels.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(rng->Uniform(0, i - 1));
+      std::swap(rels[i - 1], rels[j]);
+    }
+    std::vector<int> left(rels.begin(), rels.begin() + static_cast<long>(k));
+    std::vector<int> right(rels.begin() + static_cast<long>(k), rels.end());
+    NodePtr l = Build(left);
+    NodePtr r = Build(right);
+
+    Predicate pred(RandomAtom(left, right));
+    if (rng->Bernoulli(opt.extra_atom_prob)) {
+      pred.AddAtom(RandomAtom(left, right));
+    }
+
+    double roll = rng->NextDouble();
+    if (roll < opt.foj_prob) {
+      return Node::FullOuterJoin(l, r, pred);
+    }
+    if (roll < opt.foj_prob + opt.loj_prob) {
+      // Randomly orient as LOJ or ROJ.
+      if (rng->Bernoulli(0.5)) return Node::LeftOuterJoin(l, r, pred);
+      return Node::RightOuterJoin(l, r, pred);
+    }
+    return Node::Join(l, r, pred);
+  }
+};
+
+}  // namespace
+
+NodePtr MakeRandomQuery(const RandomQueryOptions& options, Rng* rng) {
+  GSOPT_CHECK(options.num_rels >= 1);
+  std::vector<int> rels;
+  for (int i = 1; i <= options.num_rels; ++i) rels.push_back(i);
+  Builder b{options, rng};
+  return b.Build(std::move(rels));
+}
+
+}  // namespace gsopt

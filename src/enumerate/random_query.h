@@ -1,0 +1,32 @@
+// Seeded random query generation: random join/outer-join trees over base
+// relations r1..rn with simple or complex conjunctive predicates. Used by
+// the equivalence property suites (every enumerated plan must reproduce the
+// as-written result on random data) and by the plan-space benchmarks.
+#ifndef GSOPT_ENUMERATE_RANDOM_QUERY_H_
+#define GSOPT_ENUMERATE_RANDOM_QUERY_H_
+
+#include "algebra/node.h"
+#include "base/rng.h"
+
+namespace gsopt {
+
+struct RandomQueryOptions {
+  int num_rels = 4;
+  // Probability a binary operator is LOJ / FOJ (remainder inner join).
+  double loj_prob = 0.4;
+  double foj_prob = 0.1;
+  // Probability a predicate gets a second conjunct (making it complex when
+  // the extra conjunct references a third relation).
+  double extra_atom_prob = 0.4;
+  // Columns available per relation (r_i.a, r_i.b, ...).
+  int num_cols = 3;
+};
+
+// Builds a random query tree over leaves r1..r<num_rels>. Every operator's
+// predicate references at least one relation from each side (so the
+// hypergraph is connected and well-formed).
+NodePtr MakeRandomQuery(const RandomQueryOptions& options, Rng* rng);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_ENUMERATE_RANDOM_QUERY_H_

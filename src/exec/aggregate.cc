@@ -1,0 +1,221 @@
+#include "exec/aggregate.h"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "exec/keys.h"
+
+namespace gsopt::exec {
+
+std::string AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kCountPresence:
+      return "COUNT_PRESENT";
+  }
+  return "?";
+}
+
+bool IsDuplicateInsensitive(AggFunc f, bool distinct) {
+  if (f == AggFunc::kMin || f == AggFunc::kMax) return true;
+  return distinct;
+}
+
+std::string AggSpec::ToString() const {
+  std::string s = out_rel + "." + out_name + "=";
+  if (func == AggFunc::kCountStar) return s + "COUNT(*)";
+  if (func == AggFunc::kCountPresence) {
+    return s + "COUNT_PRESENT(" + presence_rel + ")";
+  }
+  s += AggFuncName(func) + "(";
+  if (distinct) s += "DISTINCT ";
+  s += input ? input->ToString() : "*";
+  return s + ")";
+}
+
+bool GroupBySpec::IsDuplicateInsensitive() const {
+  for (const AggSpec& a : aggs) {
+    if (!gsopt::exec::IsDuplicateInsensitive(a.func, a.distinct)) return false;
+  }
+  return true;
+}
+
+std::string GroupBySpec::ToString() const {
+  std::string s = "GROUPBY[";
+  for (size_t i = 0; i < group_cols.size(); ++i) {
+    if (i) s += ", ";
+    s += group_cols[i].Qualified();
+  }
+  for (const std::string& r : group_vid_rels) s += ", V(" + r + ")";
+  s += "; ";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i) s += ", ";
+    s += aggs[i].ToString();
+  }
+  return s + "]";
+}
+
+namespace {
+
+struct Accumulator {
+  int64_t count = 0;        // non-null inputs (or rows for COUNT(*))
+  double sum = 0.0;
+  bool sum_all_int = true;
+  int64_t isum = 0;
+  Value min_v, max_v;       // NULL until first non-null input
+  std::unordered_set<std::string> distinct_keys;
+
+  void Feed(const Value& v, const AggSpec& spec) {
+    if (spec.func == AggFunc::kCountStar) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    if (spec.distinct) {
+      std::string key;
+      AppendValueKey(v, &key);
+      if (!distinct_keys.insert(key).second) return;
+    }
+    ++count;
+    switch (spec.func) {
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == ValueType::kInt) {
+          isum += v.AsInt();
+        } else {
+          sum_all_int = false;
+        }
+        sum += v.AsDouble();
+        break;
+      case AggFunc::kMin:
+        if (min_v.is_null() || Value::IdentityLess(v, min_v)) min_v = v;
+        break;
+      case AggFunc::kMax:
+        if (max_v.is_null() || Value::IdentityLess(max_v, v)) max_v = v;
+        break;
+      default:
+        break;
+    }
+  }
+
+  Value Result(const AggSpec& spec) const {
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+      case AggFunc::kCountPresence:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return sum_all_int ? Value::Int(isum) : Value::Double(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min_v;
+      case AggFunc::kMax:
+        return max_v;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec) {
+  // Resolve group columns and grouping virtual attributes.
+  std::vector<int> gcol_idx;
+  for (const Attribute& a : spec.group_cols) {
+    int i = r.schema().Find(a.rel, a.name);
+    GSOPT_CHECK_MSG(i >= 0, ("group-by: missing " + a.Qualified()).c_str());
+    gcol_idx.push_back(i);
+  }
+  std::vector<int> gvid_idx;
+  for (const std::string& rel : spec.group_vid_rels) {
+    int i = r.vschema().Find(rel);
+    GSOPT_CHECK_MSG(i >= 0, ("group-by: no virtual attr for " + rel).c_str());
+    gvid_idx.push_back(i);
+  }
+
+  Schema out_schema;
+  for (const Attribute& a : spec.group_cols) out_schema.Append(a);
+  for (const AggSpec& a : spec.aggs) {
+    out_schema.Append(Attribute{a.out_rel, a.out_name});
+  }
+  VirtualSchema out_vschema(spec.group_vid_rels);
+  // Synthetic virtual attribute (one row id per group) under the first
+  // aggregate's qualifier: generalized selections above can then tell a
+  // REAL group row that happens to be all-NULL on its values apart from
+  // outer-join padding (padding has a null row id).
+  bool synthetic_vid = false;
+  if (spec.synthetic_vid && !spec.aggs.empty() &&
+      out_vschema.Find(spec.aggs[0].out_rel) < 0) {
+    out_vschema.Append(spec.aggs[0].out_rel);
+    synthetic_vid = true;
+  }
+
+  struct Group {
+    Tuple representative;
+    std::vector<Accumulator> accs;
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::vector<std::string> order;  // first-seen order, for determinism
+
+  for (const Tuple& t : r.rows()) {
+    std::string key = EncodeTupleKey(t, gcol_idx, gvid_idx);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group g;
+      g.representative = t;
+      g.accs.resize(spec.aggs.size());
+      it = groups.emplace(key, std::move(g)).first;
+      order.push_back(key);
+    }
+    for (size_t k = 0; k < spec.aggs.size(); ++k) {
+      const AggSpec& a = spec.aggs[k];
+      Value v;
+      if (a.func == AggFunc::kCountStar) {
+        v = Value::Int(1);
+      } else if (a.func == AggFunc::kCountPresence) {
+        int vi = r.vschema().Find(a.presence_rel);
+        GSOPT_CHECK_MSG(vi >= 0, "COUNT_PRESENT: unknown relation");
+        v = (t.vids[vi] == kNullRowId) ? Value::Null() : Value::Int(1);
+      } else {
+        v = a.input->Eval(t, r.schema());
+      }
+      it->second.accs[k].Feed(v, a);
+    }
+  }
+
+  Relation out(out_schema, out_vschema);
+  out.Reserve(static_cast<int>(order.size()));
+  RowId group_ordinal = 0;
+  for (const std::string& key : order) {
+    const Group& g = groups.at(key);
+    Tuple t;
+    t.values.reserve(out_schema.size());
+    for (int i : gcol_idx) t.values.push_back(g.representative.values[i]);
+    for (size_t k = 0; k < spec.aggs.size(); ++k) {
+      t.values.push_back(g.accs[k].Result(spec.aggs[k]));
+    }
+    t.vids.reserve(out_vschema.size());
+    for (int i : gvid_idx) t.vids.push_back(g.representative.vids[i]);
+    if (synthetic_vid) t.vids.push_back(group_ordinal++);
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace gsopt::exec

@@ -1,0 +1,70 @@
+// Generalized projection (GP) pi_{X, f(Y)} from [GUPT95], the paper's model
+// of SQL GROUP BY: group on real attributes X (optionally also on virtual
+// attributes, as Example 3.1's pi_{V3 r3 r1' r2', c=count(r1)} does) and
+// compute aggregates. A GP with no aggregates models SELECT DISTINCT; a GP
+// whose aggregates are all duplicate-insensitive is the paper's delta.
+#ifndef GSOPT_EXEC_AGGREGATE_H_
+#define GSOPT_EXEC_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/expr.h"
+#include "relational/relation.h"
+
+namespace gsopt::exec {
+
+enum class AggFunc {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  // Counts rows whose virtual attribute (row id) for `presence_rel` is
+  // non-null, i.e. rows to which that base relation actually contributed.
+  // Aggregation pull-up through the null-supplying side of an outer join
+  // uses this to distinguish real groups from padding-phantoms.
+  kCountPresence,
+};
+
+std::string AggFuncName(AggFunc f);
+
+// True for aggregates unaffected by duplicate input rows.
+bool IsDuplicateInsensitive(AggFunc f, bool distinct);
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  bool distinct = false;
+  ScalarPtr input;           // null for COUNT(*) / kCountPresence
+  std::string presence_rel;  // kCountPresence only
+  std::string out_rel;       // qualifier of the output column (e.g. view name)
+  std::string out_name;      // output column name
+
+  std::string ToString() const;
+};
+
+struct GroupBySpec {
+  std::vector<Attribute> group_cols;
+  // Base relations whose virtual attribute participates in the group key;
+  // these relations' row ids survive into the output's virtual schema.
+  std::vector<std::string> group_vid_rels;
+  std::vector<AggSpec> aggs;
+  // Emit a synthetic row id (one per group, under the first aggregate's
+  // qualifier) so compensations above can distinguish a real all-NULL
+  // group row from outer-join padding. Normalization turns this off for
+  // PULLED group-bys, whose per-cell rows must instead deduplicate by
+  // value when a compensation resurrects the original groups.
+  bool synthetic_vid = true;
+
+  // delta vs pi in the paper's notation.
+  bool IsDuplicateInsensitive() const;
+
+  std::string ToString() const;
+};
+
+Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec);
+
+}  // namespace gsopt::exec
+
+#endif  // GSOPT_EXEC_AGGREGATE_H_

@@ -1,0 +1,460 @@
+#include "exec/eval.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "exec/keys.h"
+
+namespace gsopt::exec {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hash-join planning: split the conjunction into equi-atoms whose two sides
+// separate across the inputs (the hash keys) and residual atoms.
+// ---------------------------------------------------------------------------
+
+bool ScalarBindsTo(const Scalar& s, const Schema& schema) {
+  return s.Validate(schema).ok();
+}
+
+struct HashPlan {
+  std::vector<ScalarPtr> a_keys;
+  std::vector<ScalarPtr> b_keys;
+  std::vector<Atom> residual;
+
+  bool usable() const { return !a_keys.empty(); }
+};
+
+HashPlan MakeHashPlan(const Predicate& p, const Schema& sa, const Schema& sb) {
+  HashPlan plan;
+  for (const Atom& atom : p.atoms()) {
+    if (atom.kind == Atom::Kind::kCompare && atom.op == CmpOp::kEq) {
+      bool l_in_a = ScalarBindsTo(*atom.lhs, sa);
+      bool r_in_b = ScalarBindsTo(*atom.rhs, sb);
+      bool l_in_b = ScalarBindsTo(*atom.lhs, sb);
+      bool r_in_a = ScalarBindsTo(*atom.rhs, sa);
+      if (l_in_a && r_in_b && !(l_in_b && r_in_a)) {
+        plan.a_keys.push_back(atom.lhs);
+        plan.b_keys.push_back(atom.rhs);
+        continue;
+      }
+      if (l_in_b && r_in_a) {
+        plan.a_keys.push_back(atom.rhs);
+        plan.b_keys.push_back(atom.lhs);
+        continue;
+      }
+    }
+    plan.residual.push_back(atom);
+  }
+  return plan;
+}
+
+// Evaluates key scalars against one input tuple; returns empty string if any
+// key value is NULL (NULL never equi-matches under 3VL, so such rows cannot
+// join and are skipped by the hash path).
+bool EncodeKeys(const std::vector<ScalarPtr>& keys, const Tuple& t,
+                const Schema& s, std::string* out) {
+  out->clear();
+  for (const ScalarPtr& k : keys) {
+    Value v = k->Eval(t, s);
+    if (v.is_null()) return false;
+    AppendValueKey(v, out);
+  }
+  return true;
+}
+
+// Matched pairs plus per-side matched flags; the shared core of every join
+// flavour.
+struct JoinCoreResult {
+  Relation out;
+  std::vector<char> a_matched;
+  std::vector<char> b_matched;
+};
+
+JoinCoreResult JoinCore(const Relation& a, const Relation& b,
+                        const Predicate& p) {
+  JoinCoreResult res;
+  Schema out_schema = Schema::Concat(a.schema(), b.schema());
+  VirtualSchema out_vschema =
+      VirtualSchema::Concat(a.vschema(), b.vschema());
+  res.out = Relation(out_schema, out_vschema);
+  res.a_matched.assign(a.NumRows(), 0);
+  res.b_matched.assign(b.NumRows(), 0);
+
+  HashPlan plan = MakeHashPlan(p, a.schema(), b.schema());
+  if (plan.usable()) {
+    std::unordered_map<std::string, std::vector<int>> table;
+    std::string key;
+    for (int j = 0; j < b.NumRows(); ++j) {
+      if (EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
+        table[key].push_back(j);
+      }
+    }
+    Predicate residual(plan.residual);
+    for (int i = 0; i < a.NumRows(); ++i) {
+      if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) continue;
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (int j : it->second) {
+        Tuple t = Tuple::Concat(a.row(i), b.row(j));
+        if (residual.Satisfied(t, out_schema)) {
+          res.a_matched[i] = 1;
+          res.b_matched[j] = 1;
+          res.out.Add(std::move(t));
+        }
+      }
+    }
+  } else {
+    for (int i = 0; i < a.NumRows(); ++i) {
+      for (int j = 0; j < b.NumRows(); ++j) {
+        Tuple t = Tuple::Concat(a.row(i), b.row(j));
+        if (p.Satisfied(t, out_schema)) {
+          res.a_matched[i] = 1;
+          res.b_matched[j] = 1;
+          res.out.Add(std::move(t));
+        }
+      }
+    }
+  }
+  return res;
+}
+
+// Group column/vid indices for one preserved group within a schema.
+struct GroupIndex {
+  std::vector<int> value_idx;
+  std::vector<int> vid_idx;
+};
+
+GroupIndex IndexGroup(const PreservedGroup& group, const Schema& schema,
+                      const VirtualSchema& vschema) {
+  GroupIndex gi;
+  for (int i = 0; i < schema.size(); ++i) {
+    if (group.count(schema.attr(i).rel)) gi.value_idx.push_back(i);
+  }
+  for (int i = 0; i < vschema.size(); ++i) {
+    if (group.count(vschema.rel(i))) gi.vid_idx.push_back(i);
+  }
+  return gi;
+}
+
+// True if the tuple is entirely NULL on the group's columns and row ids.
+// Such a projection means "no preserved tuple here" (the group's part was
+// itself padding from an outer join below) and must not be resurrected.
+bool GroupPartAllNull(const Tuple& t, const GroupIndex& gi) {
+  for (int i : gi.value_idx) {
+    if (!t.values[i].is_null()) return false;
+  }
+  for (int i : gi.vid_idx) {
+    if (t.vids[i] != kNullRowId) return false;
+  }
+  return true;
+}
+
+// Builds the null-padded resurrection tuple for one preserved-group key.
+Tuple PadGroupTuple(const Tuple& src, const GroupIndex& gi,
+                    const Relation& shape) {
+  Tuple t = shape.NullTuple();
+  for (int i : gi.value_idx) t.values[i] = src.values[i];
+  for (int i : gi.vid_idx) t.vids[i] = src.vids[i];
+  return t;
+}
+
+}  // namespace
+
+Relation Product(const Relation& a, const Relation& b) {
+  Relation out(Schema::Concat(a.schema(), b.schema()),
+               VirtualSchema::Concat(a.vschema(), b.vschema()));
+  out.Reserve(a.NumRows() * b.NumRows());
+  for (const Tuple& ta : a.rows()) {
+    for (const Tuple& tb : b.rows()) {
+      out.Add(Tuple::Concat(ta, tb));
+    }
+  }
+  return out;
+}
+
+Relation Select(const Relation& r, const Predicate& p) {
+  Relation out(r.schema(), r.vschema());
+  for (const Tuple& t : r.rows()) {
+    if (p.Satisfied(t, r.schema())) out.Add(t);
+  }
+  return out;
+}
+
+Relation Project(const Relation& r, const std::vector<Attribute>& attrs) {
+  Schema schema;
+  std::vector<int> src_idx;
+  for (const Attribute& a : attrs) {
+    int i = r.schema().Find(a.rel, a.name);
+    GSOPT_CHECK_MSG(i >= 0, ("project: missing " + a.Qualified()).c_str());
+    schema.Append(a);
+    src_idx.push_back(i);
+  }
+  // Keep virtual attributes only for base relations all of whose columns
+  // survive the projection (otherwise row ids would claim more provenance
+  // than the tuple carries).
+  std::set<std::string> kept_rels;
+  for (const Attribute& a : attrs) kept_rels.insert(a.rel);
+  VirtualSchema vschema;
+  std::vector<int> vid_idx;
+  for (int i = 0; i < r.vschema().size(); ++i) {
+    if (kept_rels.count(r.vschema().rel(i))) {
+      vschema.Append(r.vschema().rel(i));
+      vid_idx.push_back(i);
+    }
+  }
+  Relation out(schema, vschema);
+  out.Reserve(r.NumRows());
+  for (const Tuple& t : r.rows()) {
+    Tuple nt;
+    nt.values.reserve(src_idx.size());
+    for (int i : src_idx) nt.values.push_back(t.values[i]);
+    nt.vids.reserve(vid_idx.size());
+    for (int i : vid_idx) nt.vids.push_back(t.vids[i]);
+    out.Add(std::move(nt));
+  }
+  return out;
+}
+
+Relation ProjectAs(const Relation& r, const std::vector<Attribute>& src,
+                   const std::vector<Attribute>& out) {
+  GSOPT_CHECK(src.size() == out.size());
+  Schema schema;
+  std::vector<int> src_idx;
+  for (size_t i = 0; i < src.size(); ++i) {
+    int j = r.schema().Find(src[i].rel, src[i].name);
+    GSOPT_CHECK_MSG(j >= 0,
+                    ("project-as: missing " + src[i].Qualified()).c_str());
+    schema.Append(out[i]);
+    src_idx.push_back(j);
+  }
+  Relation result(schema, VirtualSchema());
+  result.Reserve(r.NumRows());
+  for (const Tuple& t : r.rows()) {
+    Tuple nt;
+    nt.values.reserve(src_idx.size());
+    for (int j : src_idx) nt.values.push_back(t.values[j]);
+    result.Add(std::move(nt));
+  }
+  return result;
+}
+
+Relation InnerJoin(const Relation& a, const Relation& b, const Predicate& p) {
+  return JoinCore(a, b, p).out;
+}
+
+Relation LeftOuterJoin(const Relation& a, const Relation& b,
+                       const Predicate& p) {
+  JoinCoreResult core = JoinCore(a, b, p);
+  Tuple b_null;
+  b_null.values.assign(b.schema().size(), Value::Null());
+  b_null.vids.assign(b.vschema().size(), kNullRowId);
+  for (int i = 0; i < a.NumRows(); ++i) {
+    if (!core.a_matched[i]) {
+      core.out.Add(Tuple::Concat(a.row(i), b_null));
+    }
+  }
+  return std::move(core.out);
+}
+
+Relation RightOuterJoin(const Relation& a, const Relation& b,
+                        const Predicate& p) {
+  JoinCoreResult core = JoinCore(a, b, p);
+  Tuple a_null;
+  a_null.values.assign(a.schema().size(), Value::Null());
+  a_null.vids.assign(a.vschema().size(), kNullRowId);
+  for (int j = 0; j < b.NumRows(); ++j) {
+    if (!core.b_matched[j]) {
+      core.out.Add(Tuple::Concat(a_null, b.row(j)));
+    }
+  }
+  return std::move(core.out);
+}
+
+Relation FullOuterJoin(const Relation& a, const Relation& b,
+                       const Predicate& p) {
+  JoinCoreResult core = JoinCore(a, b, p);
+  Tuple b_null;
+  b_null.values.assign(b.schema().size(), Value::Null());
+  b_null.vids.assign(b.vschema().size(), kNullRowId);
+  for (int i = 0; i < a.NumRows(); ++i) {
+    if (!core.a_matched[i]) {
+      core.out.Add(Tuple::Concat(a.row(i), b_null));
+    }
+  }
+  Tuple a_null;
+  a_null.values.assign(a.schema().size(), Value::Null());
+  a_null.vids.assign(a.vschema().size(), kNullRowId);
+  for (int j = 0; j < b.NumRows(); ++j) {
+    if (!core.b_matched[j]) {
+      core.out.Add(Tuple::Concat(a_null, b.row(j)));
+    }
+  }
+  return std::move(core.out);
+}
+
+Relation AntiJoin(const Relation& a, const Relation& b, const Predicate& p) {
+  JoinCoreResult core = JoinCore(a, b, p);
+  Relation out(a.schema(), a.vschema());
+  for (int i = 0; i < a.NumRows(); ++i) {
+    if (!core.a_matched[i]) out.Add(a.row(i));
+  }
+  return out;
+}
+
+Relation SemiJoin(const Relation& a, const Relation& b, const Predicate& p) {
+  JoinCoreResult core = JoinCore(a, b, p);
+  Relation out(a.schema(), a.vschema());
+  for (int i = 0; i < a.NumRows(); ++i) {
+    if (core.a_matched[i]) out.Add(a.row(i));
+  }
+  return out;
+}
+
+Relation OuterUnion(const Relation& a, const Relation& b) {
+  Schema schema = a.schema();
+  std::vector<int> b_value_map(b.schema().size(), -1);
+  for (int i = 0; i < b.schema().size(); ++i) {
+    const Attribute& attr = b.schema().attr(i);
+    int j = schema.Find(attr.rel, attr.name);
+    if (j < 0) {
+      schema.Append(attr);
+      j = schema.size() - 1;
+    }
+    b_value_map[i] = j;
+  }
+  VirtualSchema vschema = a.vschema();
+  std::vector<int> b_vid_map(b.vschema().size(), -1);
+  for (int i = 0; i < b.vschema().size(); ++i) {
+    int j = vschema.Find(b.vschema().rel(i));
+    if (j < 0) {
+      vschema.Append(b.vschema().rel(i));
+      j = vschema.size() - 1;
+    }
+    b_vid_map[i] = j;
+  }
+  Relation out(schema, vschema);
+  out.Reserve(a.NumRows() + b.NumRows());
+  for (const Tuple& t : a.rows()) {
+    Tuple nt;
+    nt.values = t.values;
+    nt.values.resize(schema.size(), Value::Null());
+    nt.vids = t.vids;
+    nt.vids.resize(vschema.size(), kNullRowId);
+    out.Add(std::move(nt));
+  }
+  for (const Tuple& t : b.rows()) {
+    Tuple nt;
+    nt.values.assign(schema.size(), Value::Null());
+    nt.vids.assign(vschema.size(), kNullRowId);
+    for (size_t i = 0; i < t.values.size(); ++i) {
+      nt.values[b_value_map[i]] = t.values[i];
+    }
+    for (size_t i = 0; i < t.vids.size(); ++i) {
+      nt.vids[b_vid_map[i]] = t.vids[i];
+    }
+    out.Add(std::move(nt));
+  }
+  return out;
+}
+
+Relation GeneralizedSelection(const Relation& r, const Predicate& p,
+                              const std::vector<PreservedGroup>& groups) {
+  // Pairwise-disjointness is a precondition of Definition 2.1.
+  for (size_t i = 0; i < groups.size(); ++i) {
+    for (size_t j = i + 1; j < groups.size(); ++j) {
+      for (const std::string& rel : groups[i]) {
+        GSOPT_CHECK_MSG(groups[j].count(rel) == 0,
+                        "generalized selection groups must be disjoint");
+      }
+    }
+  }
+
+  Relation selected = Select(r, p);
+  Relation out(r.schema(), r.vschema());
+  for (const Tuple& t : selected.rows()) out.Add(t);
+
+  for (const PreservedGroup& group : groups) {
+    GroupIndex gi = IndexGroup(group, r.schema(), r.vschema());
+    std::unordered_set<std::string> surviving;
+    for (const Tuple& t : selected.rows()) {
+      surviving.insert(EncodeTupleKey(t, gi.value_idx, gi.vid_idx));
+    }
+    std::unordered_set<std::string> added;
+    for (const Tuple& t : r.rows()) {
+      if (GroupPartAllNull(t, gi)) continue;
+      std::string key = EncodeTupleKey(t, gi.value_idx, gi.vid_idx);
+      if (surviving.count(key) || added.count(key)) continue;
+      added.insert(std::move(key));
+      out.Add(PadGroupTuple(t, gi, out));
+    }
+  }
+  return out;
+}
+
+Relation Mgoj(const Relation& a, const Relation& b, const Predicate& p,
+              const std::vector<PreservedGroup>& groups) {
+  JoinCoreResult core = JoinCore(a, b, p);
+  Relation out(core.out.schema(), core.out.vschema());
+  for (const Tuple& t : core.out.rows()) out.Add(t);
+
+  // Compensation per group, computed from the operand sides directly:
+  // pi_{G}(a x b) factors into pi_{G cap a}(a) x pi_{G cap b}(b).
+  for (const PreservedGroup& group : groups) {
+    GroupIndex ga = IndexGroup(group, a.schema(), a.vschema());
+    GroupIndex gb = IndexGroup(group, b.schema(), b.vschema());
+    GroupIndex gout = IndexGroup(group, out.schema(), out.vschema());
+
+    std::unordered_set<std::string> surviving;
+    for (const Tuple& t : core.out.rows()) {
+      surviving.insert(EncodeTupleKey(t, gout.value_idx, gout.vid_idx));
+    }
+    std::unordered_set<std::string> added;
+
+    auto consider = [&](const Tuple& ta, const Tuple& tb) {
+      Tuple t = Tuple::Concat(ta, tb);
+      if (GroupPartAllNull(t, gout)) return;
+      std::string key = EncodeTupleKey(t, gout.value_idx, gout.vid_idx);
+      if (surviving.count(key) || added.count(key)) return;
+      added.insert(std::move(key));
+      out.Add(PadGroupTuple(t, gout, out));
+    };
+
+    bool group_in_a = !ga.value_idx.empty() || !ga.vid_idx.empty();
+    bool group_in_b = !gb.value_idx.empty() || !gb.vid_idx.empty();
+    Tuple null_a;
+    null_a.values.assign(a.schema().size(), Value::Null());
+    null_a.vids.assign(a.vschema().size(), kNullRowId);
+    Tuple null_b;
+    null_b.values.assign(b.schema().size(), Value::Null());
+    null_b.vids.assign(b.vschema().size(), kNullRowId);
+
+    if (group_in_a && group_in_b) {
+      // Rare split group: enumerate distinct side projections.
+      std::unordered_map<std::string, int> da, db;
+      for (int i = 0; i < a.NumRows(); ++i) {
+        da.emplace(EncodeTupleKey(a.row(i), ga.value_idx, ga.vid_idx), i);
+      }
+      for (int j = 0; j < b.NumRows(); ++j) {
+        db.emplace(EncodeTupleKey(b.row(j), gb.value_idx, gb.vid_idx), j);
+      }
+      for (const auto& [ka, i] : da) {
+        for (const auto& [kb, j] : db) {
+          consider(a.row(i), b.row(j));
+        }
+      }
+    } else if (group_in_a) {
+      // Unlike a literal sigma*[G](a x b), the binary operator preserves
+      // G-tuples even when b is empty (matching left-outer-join semantics);
+      // the padded side's contents never reach the key or the output.
+      for (const Tuple& ta : a.rows()) consider(ta, null_b);
+    } else if (group_in_b) {
+      for (const Tuple& tb : b.rows()) consider(null_a, tb);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsopt::exec

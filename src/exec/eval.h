@@ -1,0 +1,72 @@
+// Executor kernels for every operator the paper uses:
+// cartesian product, selection, projection, inner / left / right / full
+// outer join, anti and semi join, outer union, generalized selection (GS,
+// Definition 2.1), and MGOJ (implemented as GS over a product with a hash
+// fast path, per the paper's remark that GS ~ MGOJ/GOJ operationally).
+//
+// Joins use a hash path on the equi-conjuncts of the predicate whose sides
+// separate cleanly across the two inputs, with any residual conjuncts
+// evaluated per candidate pair; otherwise they fall back to nested loops.
+#ifndef GSOPT_EXEC_EVAL_H_
+#define GSOPT_EXEC_EVAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/expr.h"
+#include "relational/relation.h"
+
+namespace gsopt::exec {
+
+// A preserved-relation spec for generalized selection: the set of base
+// relation names forming one r_i of sigma*_p[r_1,...,r_n](r).
+using PreservedGroup = std::set<std::string>;
+
+Relation Product(const Relation& a, const Relation& b);
+
+Relation Select(const Relation& r, const Predicate& p);
+
+// Duplicate-preserving projection onto the given real attributes. The
+// virtual schema is restricted to base relations fully covered by `attrs`.
+Relation Project(const Relation& r, const std::vector<Attribute>& attrs);
+
+// Projection with renaming: output column i is named `out[i]`, sourced
+// from `src[i]`. Virtual attributes are dropped (renamed outputs no longer
+// correspond to base-relation provenance).
+Relation ProjectAs(const Relation& r, const std::vector<Attribute>& src,
+                   const std::vector<Attribute>& out);
+
+Relation InnerJoin(const Relation& a, const Relation& b, const Predicate& p);
+Relation LeftOuterJoin(const Relation& a, const Relation& b,
+                       const Predicate& p);
+Relation RightOuterJoin(const Relation& a, const Relation& b,
+                        const Predicate& p);
+Relation FullOuterJoin(const Relation& a, const Relation& b,
+                       const Predicate& p);
+// r_a |> r_b : tuples of a with no match in b (schema of a).
+Relation AntiJoin(const Relation& a, const Relation& b, const Predicate& p);
+// Tuples of a with at least one match in b (schema of a).
+Relation SemiJoin(const Relation& a, const Relation& b, const Predicate& p);
+
+// Outer union (paper §1.2): schema is the union of schemas (matched by
+// qualified attribute name); rows padded with NULLs for missing attributes.
+Relation OuterUnion(const Relation& a, const Relation& b);
+
+// Generalized selection sigma*_p[groups](r), Definition 2.1:
+//   E' = sigma_p(r)  (+)_i  ( pi_{Ri,Vi}(r) - pi_{Ri,Vi}(sigma_p(r)) )
+// Each group names the base relations of one preserved r_i; groups must be
+// pairwise disjoint. The result has r's schema; resurrected tuples keep the
+// group's columns/row-ids and are NULL elsewhere.
+Relation GeneralizedSelection(const Relation& r, const Predicate& p,
+                              const std::vector<PreservedGroup>& groups);
+
+// MGOJ[groups, p](a, b): binary modified generalized outer join; equal to
+// GeneralizedSelection(Product(a, b), p, groups) but avoids materializing
+// the product.
+Relation Mgoj(const Relation& a, const Relation& b, const Predicate& p,
+              const std::vector<PreservedGroup>& groups);
+
+}  // namespace gsopt::exec
+
+#endif  // GSOPT_EXEC_EVAL_H_

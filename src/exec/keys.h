@@ -1,0 +1,66 @@
+// Internal: canonical byte-string encodings of value/row-id vectors, used as
+// hash keys by joins, grouping, duplicate elimination and the generalized
+// selection difference. The encoding is consistent with
+// Value::IdentityEquals (NULL == NULL; 1 == 1.0 across int/double).
+#ifndef GSOPT_EXEC_KEYS_H_
+#define GSOPT_EXEC_KEYS_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace gsopt::exec {
+
+inline void AppendValueKey(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back('n');
+      break;
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      int64_t i = static_cast<int64_t>(d);
+      if (d == static_cast<double>(i)) {
+        out->push_back('i');
+        out->append(std::to_string(i));
+      } else {
+        out->push_back('d');
+        out->append(std::to_string(d));
+      }
+      break;
+    }
+    case ValueType::kString:
+      out->push_back('s');
+      out->append(std::to_string(v.AsString().size()));
+      out->push_back(':');
+      out->append(v.AsString());
+      break;
+  }
+  out->push_back('|');
+}
+
+inline std::string EncodeValues(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) AppendValueKey(v, &key);
+  return key;
+}
+
+// Encodes selected value columns and selected row-id columns of a tuple.
+inline std::string EncodeTupleKey(const Tuple& t,
+                                  const std::vector<int>& value_idx,
+                                  const std::vector<int>& vid_idx) {
+  std::string key;
+  for (int i : value_idx) AppendValueKey(t.values[i], &key);
+  key.push_back('#');
+  for (int i : vid_idx) {
+    key.append(std::to_string(t.vids[i]));
+    key.push_back('|');
+  }
+  return key;
+}
+
+}  // namespace gsopt::exec
+
+#endif  // GSOPT_EXEC_KEYS_H_

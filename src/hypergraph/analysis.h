@@ -1,0 +1,94 @@
+// Hypergraph analysis: preserved sets pres(h) / pres_{h1}(h), closest
+// conflicting outer joins ccoj(h0), conflict sets conf(h0) (Definition 3.3)
+// and the Theorem-1 preserved-group computation for deferred predicate
+// conjuncts. Everything is computed against the ORIGINAL query hypergraph,
+// once, exactly as the paper prescribes.
+//
+// Reachability uses the paper's path notion ([BHAR95a], footnote 3): a path
+// alternates relations and hyperedges, each step CROSSES an edge from one
+// hypernode to the other (never moves within a hypernode) and no edge is
+// used twice. This matters: in Q6's hyperedge <{r1},{r2,r4}>, r2 and r4 are
+// in the same hypernode, so r1 reaching r2 must not implicitly connect r2
+// to r4 "backwards" through the same edge.
+#ifndef GSOPT_HYPERGRAPH_ANALYSIS_H_
+#define GSOPT_HYPERGRAPH_ANALYSIS_H_
+
+#include <vector>
+
+#include "exec/eval.h"
+#include "hypergraph/hypergraph.h"
+
+namespace gsopt {
+
+class HypergraphAnalysis {
+ public:
+  explicit HypergraphAnalysis(const Hypergraph& h) : h_(h) {}
+
+  const Hypergraph& hypergraph() const { return h_; }
+
+  // True if an edge-distinct, hypernode-crossing path exists from `from`
+  // to any relation in `targets` avoiding edges in `banned_edges`.
+  bool PathExists(int from, RelSet targets, RelSet banned_edges) const;
+
+  // pres(h) for a directed edge: relations with a path into the edge's
+  // preserved hypernode avoiding the edge itself ("to the left" of it).
+  RelSet Pres(int edge) const;
+
+  // For a bidirected edge: relations reaching its v1 / v2 hypernode.
+  RelSet Pres1(int edge) const;
+  RelSet Pres2(int edge) const;
+
+  // pres_{away}(h): the side of bidirected h that does NOT contain edge
+  // `away` (the relations h preserves "away from" that edge); equals
+  // Pres(h) when h is directed.
+  RelSet PresAway(int edge, int away_edge) const;
+
+  // Closest conflicting outer joins of an undirected edge: directed edges
+  // whose null-supplying hypernode touches the join-connected region of
+  // the edge.
+  std::vector<int> Ccoj(int edge) const;
+
+  // Definition 3.3 conflict set.
+  std::vector<int> Conf(int edge) const;
+
+  // True if `outer`'s operator necessarily sits above `inner`'s in the
+  // original query: `inner`'s endpoints lie entirely within one of
+  // `outer`'s (null-supplied) side regions. Plans that invert the two need
+  // `outer`'s preservation compensated at the inversion point.
+  bool OperatorAbove(int outer, int inner) const;
+
+  // Theorem 1: preserved groups for a generalized selection applying a
+  // deferred conjunct of `edge` at the root. Groups subsumed by another
+  // group are dropped (a composite group covers its sub-projections).
+  std::vector<RelSet> DeferredGroups(int edge) const;
+
+  // Converts relation-id groups to executor preserved groups.
+  std::vector<exec::PreservedGroup> ToPreservedGroups(
+      const std::vector<RelSet>& groups) const;
+
+ private:
+  // All relations with a path into `targets` avoiding `banned_edges`
+  // (targets themselves included).
+  RelSet ReachingSet(RelSet targets, RelSet banned_edges) const;
+
+  // Shared implementation of Pres/Pres1/Pres2: the preserved reach of one
+  // hypernode, excluding relations attached through edges whose predicate
+  // touches the far side's region (such operators cannot match tuples the
+  // edge padded, so those relations never ride with the preserved part).
+  RelSet PresSide(int edge, bool side1) const;
+
+  // BFS region over selected edge kinds with the hypernode-crossing rule
+  // (approximate: edge reuse is not tracked; exact on simple edges).
+  RelSet Region(RelSet start, bool allow_undirected, bool allow_directed,
+                RelSet banned_edges) const;
+
+  // Bidirected edges incident to the region reachable from `start` via
+  // non-bidirected edges.
+  std::vector<int> FojsReachable(RelSet start, RelSet banned_edges) const;
+
+  const Hypergraph& h_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_HYPERGRAPH_ANALYSIS_H_

@@ -1,0 +1,19 @@
+// Builds the query hypergraph from a binary-operator expression tree
+// (inner / left / right / full outer joins over base relations). The tree
+// must be "simple" in the paper's sense (no redundant edges) and its
+// predicates conjunctive and null in-tolerant; queries with selections,
+// aggregations or GS must be normalized first (see algebra/agg_pullup.h).
+#ifndef GSOPT_HYPERGRAPH_BUILD_H_
+#define GSOPT_HYPERGRAPH_BUILD_H_
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "hypergraph/hypergraph.h"
+
+namespace gsopt {
+
+StatusOr<Hypergraph> BuildHypergraph(const NodePtr& query);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_HYPERGRAPH_BUILD_H_

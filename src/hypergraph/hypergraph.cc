@@ -1,0 +1,177 @@
+#include "hypergraph/hypergraph.h"
+
+#include "base/check.h"
+
+namespace gsopt {
+
+std::string EdgeKindName(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kUndirected:
+      return "join";
+    case EdgeKind::kDirected:
+      return "outerjoin";
+    case EdgeKind::kBidirected:
+      return "fullouterjoin";
+  }
+  return "?";
+}
+
+int Hypergraph::AddRelation(const std::string& name) {
+  return AddUnit(name, {name});
+}
+
+int Hypergraph::AddUnit(const std::string& name,
+                        const std::vector<std::string>& qualifiers) {
+  auto it = rel_ids_.find(name);
+  if (it != rel_ids_.end()) return it->second;
+  int id = NumRelations();
+  GSOPT_CHECK_MSG(id < RelSet::kMaxRelations, "too many relations");
+  rel_names_.push_back(name);
+  qualifiers_.push_back(qualifiers);
+  rel_ids_[name] = id;
+  for (const std::string& q : qualifiers) rel_ids_[q] = id;
+  return id;
+}
+
+int Hypergraph::RelId(const std::string& name) const {
+  auto it = rel_ids_.find(name);
+  return it == rel_ids_.end() ? -1 : it->second;
+}
+
+StatusOr<int> Hypergraph::AddEdge(EdgeKind kind, RelSet v1, RelSet v2,
+                                  const Predicate& pred) {
+  if (v1.Empty() || v2.Empty()) {
+    return Status::InvalidArgument("hyperedge hypernodes must be non-empty");
+  }
+  if (v1.Intersects(v2)) {
+    return Status::InvalidArgument("hypernodes must be disjoint");
+  }
+  Hyperedge e;
+  e.id = NumEdges();
+  e.kind = kind;
+  e.v1 = v1;
+  e.v2 = v2;
+  RelSet endpoints = v1.Union(v2);
+  for (const Atom& a : pred.atoms()) {
+    EdgeAtom ea;
+    ea.atom = a;
+    for (const std::string& rel : a.RelNames()) {
+      int id = RelId(rel);
+      if (id < 0) {
+        return Status::InvalidArgument("predicate references unknown relation " +
+                                       rel);
+      }
+      ea.span.Add(id);
+    }
+    if (!endpoints.ContainsAll(ea.span)) {
+      return Status::InvalidArgument(
+          "atom span escapes hyperedge endpoints: " + a.ToString());
+    }
+    e.atoms.push_back(std::move(ea));
+  }
+  if (e.atoms.empty()) {
+    // TRUE-predicate operator (e.g. a cartesian left outer join created by
+    // deferring an aggregate-referencing conjunct, paper §1.1 Query 1):
+    // synthesize a tautological atom spanning both hypernodes so
+    // connectivity and operator placement treat the edge uniformly. The
+    // whole-hypernode span makes the placement conservative (both
+    // hypernodes must be assembled before the edge applies).
+    EdgeAtom ea;
+    ea.atom = MakeTautologyAtom();
+    ea.span = endpoints;
+    e.atoms.push_back(std::move(ea));
+  }
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+std::vector<std::string> Hypergraph::RelNamesOf(RelSet s) const {
+  std::vector<std::string> out;
+  for (int id : s.ToVector()) out.push_back(RelName(id));
+  return out;
+}
+
+bool Hypergraph::Connected(RelSet rels, RelSet excluded_edges) const {
+  if (rels.Empty()) return false;
+  if (rels.Count() == 1) return true;
+  RelSet reached = Component(rels.First(), rels, excluded_edges);
+  return reached.ContainsAll(rels);
+}
+
+RelSet Hypergraph::Component(int seed, RelSet universe,
+                             RelSet excluded_edges) const {
+  RelSet reached;
+  if (!universe.Contains(seed)) return reached;
+  reached.Add(seed);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Hyperedge& e : edges_) {
+      if (excluded_edges.Contains(e.id)) continue;
+      for (const EdgeAtom& ea : e.atoms) {
+        if (!universe.ContainsAll(ea.span)) continue;
+        if (ea.span.Intersects(reached) && !reached.ContainsAll(ea.span)) {
+          reached = reached.Union(ea.span);
+          changed = true;
+        }
+      }
+    }
+  }
+  return reached;
+}
+
+bool Hypergraph::IsAcyclic() const {
+  // Union-find in edge-insertion order (bottom-up query order). An edge
+  // closes a cycle iff its two HYPERNODES are already connected; relations
+  // within one hypernode belong to the same operand side, so h2=<{r2},
+  // {r4,r5}> atop the join r4-r5 is not a cycle (paper Example 3.2).
+  std::vector<int> parent(NumRelations());
+  for (int i = 0; i < NumRelations(); ++i) parent[i] = i;
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+  for (const Hyperedge& e : edges_) {
+    // Connect each hypernode internally first (same operand side).
+    std::vector<int> s1 = e.v1.ToVector();
+    std::vector<int> s2 = e.v2.ToVector();
+    for (size_t i = 1; i < s1.size(); ++i) unite(s1[0], s1[i]);
+    for (size_t i = 1; i < s2.size(); ++i) unite(s2[0], s2[i]);
+    if (find(s1[0]) == find(s2[0])) return false;
+    unite(s1[0], s2[0]);
+  }
+  return true;
+}
+
+std::string Hypergraph::ToString() const {
+  std::string s = "H(V={";
+  for (int i = 0; i < NumRelations(); ++i) {
+    if (i) s += ",";
+    s += rel_names_[i];
+  }
+  s += "}, E={\n";
+  for (const Hyperedge& e : edges_) {
+    s += "  h" + std::to_string(e.id) + " " + EdgeKindName(e.kind) + " <";
+    bool first = true;
+    for (const std::string& n : RelNamesOf(e.v1)) {
+      if (!first) s += " ";
+      s += n;
+      first = false;
+    }
+    s += "> -> <";
+    first = true;
+    for (const std::string& n : RelNamesOf(e.v2)) {
+      if (!first) s += " ";
+      s += n;
+      first = false;
+    }
+    s += ">: " + e.FullPredicate().ToString() + "\n";
+  }
+  return s + "})";
+}
+
+}  // namespace gsopt

@@ -1,0 +1,114 @@
+// Query hypergraph (paper Definition 3.1): nodes are base relations;
+// each hyperedge <V1, V2> represents one binary operator's conjunctive
+// predicate, where the hypernodes are the relations the predicate
+// references on each operand side. Directed hyperedges are outer joins
+// (V1 = preserved-side references, V2 = null-supplying-side references);
+// bi-directed hyperedges are full outer joins; undirected are inner joins.
+//
+// Every atom of an edge's predicate carries its own relation span, which is
+// what predicate break-up (Definition 3.2's sub-edges) operates on.
+#ifndef GSOPT_HYPERGRAPH_HYPERGRAPH_H_
+#define GSOPT_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/relset.h"
+#include "base/status.h"
+#include "relational/expr.h"
+
+namespace gsopt {
+
+enum class EdgeKind { kUndirected, kDirected, kBidirected };
+
+std::string EdgeKindName(EdgeKind k);
+
+// One predicate atom with its relation span resolved to ids.
+struct EdgeAtom {
+  Atom atom;
+  RelSet span;
+};
+
+struct Hyperedge {
+  int id = -1;
+  EdgeKind kind = EdgeKind::kUndirected;
+  // For directed edges, v1 is the preserved-side hypernode and v2 the
+  // null-supplying-side hypernode. For undirected/bidirected the order is
+  // as written in the query.
+  RelSet v1, v2;
+  std::vector<EdgeAtom> atoms;
+
+  RelSet Endpoints() const { return v1.Union(v2); }
+  bool IsComplex() const { return Endpoints().Count() > 2; }
+  bool IsSimpleEdge() const { return v1.Count() == 1 && v2.Count() == 1; }
+
+  Predicate FullPredicate() const {
+    Predicate p;
+    for (const EdgeAtom& ea : atoms) p.AddAtom(ea.atom);
+    return p;
+  }
+};
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  // --- construction ---
+  int AddRelation(const std::string& name);
+
+  // Registers a composite "unit" node: an opaque subexpression (e.g. a
+  // non-mergeable aggregation view) treated as one base relation whose
+  // output columns carry several qualifiers. Predicates referencing any of
+  // the qualifiers map to this node, and preserved groups expand to the
+  // full qualifier set.
+  int AddUnit(const std::string& name,
+              const std::vector<std::string>& qualifiers);
+  // Adds an edge; every atom's span is resolved against registered
+  // relations. All atom spans must be subsets of v1 | v2.
+  StatusOr<int> AddEdge(EdgeKind kind, RelSet v1, RelSet v2,
+                        const Predicate& pred);
+
+  // --- accessors ---
+  int NumRelations() const { return static_cast<int>(rel_names_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+  const std::string& RelName(int id) const { return rel_names_[id]; }
+  // Lookup by relation name or by any covered qualifier.
+  int RelId(const std::string& name) const;
+  // Qualifiers covered by a node (just {name} for plain relations).
+  const std::vector<std::string>& Qualifiers(int id) const {
+    return qualifiers_[id];
+  }
+  const Hyperedge& edge(int id) const { return edges_[id]; }
+  const std::vector<Hyperedge>& edges() const { return edges_; }
+  RelSet AllRels() const { return RelSet::FirstN(NumRelations()); }
+
+  std::vector<std::string> RelNamesOf(RelSet s) const;
+
+  // --- connectivity ---
+  // True if `rels` is connected in the sub-hypergraph induced per footnote
+  // 6 of the paper: an atom (sub-edge) connects its span when the span lies
+  // inside `rels`; edges in `excluded_edges` are ignored entirely.
+  bool Connected(RelSet rels, RelSet excluded_edges = RelSet()) const;
+
+  // Connected component containing `seed` within `universe`, ignoring
+  // edges in `excluded_edges`.
+  RelSet Component(int seed, RelSet universe,
+                   RelSet excluded_edges = RelSet()) const;
+
+  // True if the whole hypergraph has no cycle (treating each hyperedge as
+  // connecting all its endpoint relations at once).
+  bool IsAcyclic() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> rel_names_;
+  std::vector<std::vector<std::string>> qualifiers_;
+  std::map<std::string, int> rel_ids_;  // name AND qualifiers -> id
+  std::vector<Hyperedge> edges_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,30 @@
+// Query graph: hypergraph plus the leaf expressions behind each node.
+// Leaves may be base relations, filtered base relations (sigma over a
+// leaf), or arbitrary opaque subexpressions ("units", e.g. a non-mergeable
+// aggregation view); a unit covers every relation qualifier its output
+// carries, and predicates referencing any covered qualifier attach to it.
+#ifndef GSOPT_HYPERGRAPH_QUERYGRAPH_H_
+#define GSOPT_HYPERGRAPH_QUERYGRAPH_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "hypergraph/hypergraph.h"
+#include "relational/catalog.h"
+
+namespace gsopt {
+
+struct QueryGraph {
+  Hypergraph hypergraph;
+  // hypergraph relation name -> expression producing that leaf.
+  std::map<std::string, NodePtr> leaf_exprs;
+};
+
+StatusOr<QueryGraph> BuildQueryGraph(const NodePtr& join_tree,
+                                     const Catalog& catalog);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_HYPERGRAPH_QUERYGRAPH_H_

@@ -1,0 +1,171 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsopt {
+
+namespace {
+
+// True if the atom is `column = column` or `column = constant` (hash- or
+// index-friendly); used both for selectivity and the hash-join cost path.
+bool IsSimpleEquality(const Atom& a) {
+  if (a.kind != Atom::Kind::kCompare || a.op != CmpOp::kEq) return false;
+  auto simple = [](const ScalarPtr& s) {
+    return s->kind() == Scalar::Kind::kColumn ||
+           s->kind() == Scalar::Kind::kConst;
+  };
+  return simple(a.lhs) && simple(a.rhs);
+}
+
+bool HasEquiConjunct(const Predicate& p) {
+  for (const Atom& a : p.atoms()) {
+    if (a.kind == Atom::Kind::kCompare && a.op == CmpOp::kEq &&
+        a.lhs->kind() == Scalar::Kind::kColumn &&
+        a.rhs->kind() == Scalar::Kind::kColumn) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double CostModel::AtomSelectivity(const Atom& a) const {
+  if (a.kind == Atom::Kind::kIsNull || a.kind == Atom::Kind::kIsNotNull) {
+    if (a.lhs->kind() == Scalar::Kind::kColumn) {
+      const TableStats* t = stats_.Table(a.lhs->rel());
+      if (t != nullptr) {
+        auto it = t->columns.find(a.lhs->name());
+        if (it != t->columns.end()) {
+          double nf = it->second.null_fraction;
+          return a.kind == Atom::Kind::kIsNull ? nf : 1.0 - nf;
+        }
+      }
+    }
+    return a.kind == Atom::Kind::kIsNull ? 0.1 : 0.9;
+  }
+  const Scalar* l = a.lhs.get();
+  const Scalar* r = a.rhs.get();
+  double dl = 1.0, dr = 1.0;
+  if (l->kind() == Scalar::Kind::kColumn) {
+    dl = stats_.Distinct(l->rel(), l->name());
+  }
+  if (r->kind() == Scalar::Kind::kColumn) {
+    dr = stats_.Distinct(r->rel(), r->name());
+  }
+  switch (a.op) {
+    case CmpOp::kEq:
+      if (IsSimpleEquality(a)) return 1.0 / std::max({dl, dr, 1.0});
+      return 0.1;
+    case CmpOp::kNe:
+      return 1.0 - 1.0 / std::max({dl, dr, 1.0});
+    default:
+      return 1.0 / 3.0;  // range predicates
+  }
+}
+
+double CostModel::Selectivity(const Predicate& p) const {
+  double s = 1.0;
+  for (const Atom& a : p.atoms()) s *= AtomSelectivity(a);
+  return s;
+}
+
+CostEstimate CostModel::Estimate(const NodePtr& node) const {
+  switch (node->kind()) {
+    case OpKind::kLeaf: {
+      CostEstimate e;
+      e.rows = stats_.Rows(node->table());
+      e.cost = e.rows;  // scan
+      return e;
+    }
+    case OpKind::kSelect: {
+      CostEstimate c = Estimate(node->left());
+      CostEstimate e;
+      e.rows = c.rows * Selectivity(node->pred());
+      e.cost = c.cost + c.rows;
+      return e;
+    }
+    case OpKind::kProject: {
+      CostEstimate c = Estimate(node->left());
+      c.cost += c.rows;
+      return c;
+    }
+    case OpKind::kGeneralizedSelection: {
+      CostEstimate c = Estimate(node->left());
+      CostEstimate e;
+      double kept = c.rows * Selectivity(node->pred());
+      // Resurrections: at most one padded row per distinct preserved key;
+      // assume a fraction of dropped rows come back.
+      e.rows = kept + 0.5 * (c.rows - kept);
+      // One hashing pass over input and over the selected part per group.
+      e.cost = c.cost + c.rows * (1.0 + static_cast<double>(
+                                            node->groups().size())) * 0.5 +
+               c.rows;
+      return e;
+    }
+    case OpKind::kGroupBy: {
+      CostEstimate c = Estimate(node->left());
+      CostEstimate e;
+      double groups = c.rows;
+      for (const Attribute& a : node->groupby().group_cols) {
+        // Cap by product of distincts (crude but monotone).
+        groups = std::min(groups, std::max(1.0, c.rows * 0.2) *
+                                      std::max(1.0, std::log2(std::max(
+                                                        2.0,
+                                                        stats_.Distinct(
+                                                            a.rel, a.name)))));
+      }
+      e.rows = std::max(1.0, std::min(c.rows, groups));
+      e.cost = c.cost + c.rows;  // one hashing pass
+      return e;
+    }
+    case OpKind::kAntiJoin:
+    case OpKind::kSemiJoin: {
+      CostEstimate l = Estimate(node->left());
+      CostEstimate r = Estimate(node->right());
+      CostEstimate e;
+      e.rows = std::max(1.0, l.rows * 0.5);
+      e.cost = l.cost + r.cost + l.rows + r.rows;
+      return e;
+    }
+    default:
+      break;
+  }
+
+  // Binary join-like operators.
+  CostEstimate l = Estimate(node->left());
+  CostEstimate r = Estimate(node->right());
+  double sel = Selectivity(node->pred());
+  double join_rows = std::max(1.0, l.rows * r.rows * sel);
+  double probe_cost = HasEquiConjunct(node->pred())
+                          ? l.rows + r.rows + join_rows
+                          : l.rows * r.rows;
+  CostEstimate e;
+  switch (node->kind()) {
+    case OpKind::kInnerJoin:
+      e.rows = join_rows;
+      break;
+    case OpKind::kLeftOuterJoin:
+      e.rows = std::max(join_rows, l.rows);
+      break;
+    case OpKind::kRightOuterJoin:
+      e.rows = std::max(join_rows, r.rows);
+      break;
+    case OpKind::kFullOuterJoin:
+      e.rows = std::max(join_rows, l.rows + r.rows);
+      break;
+    case OpKind::kMgoj: {
+      e.rows = join_rows + 0.3 * (l.rows + r.rows);
+      probe_cost += 0.5 * (l.rows + r.rows);  // compensation hashing
+      break;
+    }
+    default:
+      e.rows = join_rows;
+      break;
+  }
+  e.cost = l.cost + r.cost + probe_cost;
+  return e;
+}
+
+}  // namespace gsopt

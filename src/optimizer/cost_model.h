@@ -1,0 +1,38 @@
+// Cost model over logical expression trees: System-R style cardinality
+// estimation plus per-operator processing costs. Hash-joinable predicates
+// (clean equi-conjuncts) cost |L| + |R| + |out|; everything else pays the
+// nested-loop product. GS costs one extra pass over its input, mirroring
+// the paper's remark that GS costs about as much as MGOJ/GOJ (§4).
+#ifndef GSOPT_OPTIMIZER_COST_MODEL_H_
+#define GSOPT_OPTIMIZER_COST_MODEL_H_
+
+#include "algebra/node.h"
+#include "optimizer/stats.h"
+
+namespace gsopt {
+
+struct CostEstimate {
+  double rows = 0.0;   // output cardinality estimate
+  double cost = 0.0;   // cumulative processing cost
+};
+
+class CostModel {
+ public:
+  explicit CostModel(Statistics stats) : stats_(std::move(stats)) {}
+
+  CostEstimate Estimate(const NodePtr& node) const;
+
+  double Cost(const NodePtr& node) const { return Estimate(node).cost; }
+
+  // Selectivity of a conjunctive predicate (independence assumption).
+  double Selectivity(const Predicate& p) const;
+
+ private:
+  double AtomSelectivity(const Atom& a) const;
+
+  Statistics stats_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,57 @@
+#include "optimizer/stats.h"
+
+#include <unordered_set>
+
+#include "exec/keys.h"
+
+namespace gsopt {
+
+Statistics Statistics::Collect(const Catalog& catalog) {
+  Statistics stats;
+  for (const std::string& name : catalog.TableNames()) {
+    const Relation* r = catalog.Find(name);
+    TableStats ts;
+    ts.rows = static_cast<double>(r->NumRows());
+    for (int c = 0; c < r->schema().size(); ++c) {
+      std::unordered_set<std::string> distinct;
+      int nulls = 0;
+      for (const Tuple& t : r->rows()) {
+        if (t.values[c].is_null()) {
+          ++nulls;
+          continue;
+        }
+        std::string key;
+        exec::AppendValueKey(t.values[c], &key);
+        distinct.insert(std::move(key));
+      }
+      ColumnStats cs;
+      cs.distinct = std::max<double>(1.0, static_cast<double>(distinct.size()));
+      cs.null_fraction =
+          r->NumRows() == 0 ? 0.0
+                            : static_cast<double>(nulls) / r->NumRows();
+      ts.columns[r->schema().attr(c).name] = cs;
+    }
+    stats.tables_[name] = std::move(ts);
+  }
+  return stats;
+}
+
+const TableStats* Statistics::Table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+double Statistics::Distinct(const std::string& rel,
+                            const std::string& column) const {
+  const TableStats* t = Table(rel);
+  if (t == nullptr) return 1.0;
+  auto it = t->columns.find(column);
+  return it == t->columns.end() ? 1.0 : it->second.distinct;
+}
+
+double Statistics::Rows(const std::string& rel) const {
+  const TableStats* t = Table(rel);
+  return t == nullptr ? 1.0 : t->rows;
+}
+
+}  // namespace gsopt

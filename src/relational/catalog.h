@@ -1,0 +1,44 @@
+// Catalog of named base relations. Base tables own monotonically assigned
+// row ids (the paper's virtual attributes).
+#ifndef GSOPT_RELATIONAL_CATALOG_H_
+#define GSOPT_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/relation.h"
+
+namespace gsopt {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Creates table `name` with the given column names (qualified as
+  // name.column). Fails if the table exists.
+  Status CreateTable(const std::string& name,
+                     const std::vector<std::string>& columns);
+
+  // Appends a row; assigns the next row id.
+  Status Insert(const std::string& name, std::vector<Value> values);
+
+  // Registers an externally built relation as a table (it must be
+  // single-base: vschema == {name}).
+  Status Register(const std::string& name, Relation relation);
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  const Relation* Find(const std::string& name) const;
+  StatusOr<Relation> Get(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Relation> tables_;
+  std::map<std::string, RowId> next_row_id_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_CATALOG_H_

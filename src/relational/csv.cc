@@ -1,0 +1,177 @@
+#include "relational/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace gsopt {
+
+namespace {
+
+// Splits one CSV record honouring quotes; returns false on malformed input.
+bool SplitRecord(const std::string& line, std::vector<std::string>* fields,
+                 std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(cur);
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(cur);
+  quoted->push_back(was_quoted);
+  return true;
+}
+
+Value InferValue(const std::string& field, bool was_quoted) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  if (was_quoted) return Value::String(field);
+  // Integer?
+  size_t i = (field[0] == '-' || field[0] == '+') ? 1 : 0;
+  bool all_digits = i < field.size();
+  bool has_dot = false;
+  for (size_t j = i; j < field.size(); ++j) {
+    if (field[j] == '.' && !has_dot) {
+      has_dot = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(field[j]))) {
+      all_digits = false;
+      break;
+    }
+  }
+  if (all_digits && !has_dot) return Value::Int(std::stoll(field));
+  if (all_digits && has_dot) return Value::Double(std::stod(field));
+  return Value::String(field);
+}
+
+std::string EscapeField(const Value& v) {
+  if (v.is_null()) return "";
+  std::string s;
+  switch (v.type()) {
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", v.AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      s = v.AsString();
+      break;
+    default:
+      return "";
+  }
+  bool needs_quotes = s.find_first_of(",\"\n") != std::string::npos ||
+                      s.empty();
+  if (!needs_quotes) {
+    // Quote strings that would otherwise re-parse as numbers or NULL.
+    needs_quotes = true;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+StatusOr<Relation> ParseCsv(const std::string& table,
+                            const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<std::string> headers;
+  std::vector<bool> hq;
+  if (!SplitRecord(line, &headers, &hq) || headers.empty()) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  Schema schema;
+  for (const std::string& h : headers) {
+    if (h.empty()) return Status::InvalidArgument("empty column name");
+    schema.Append(Attribute{table, h});
+  }
+  Relation rel(schema, VirtualSchema({table}));
+  RowId id = 0;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::vector<bool> quoted;
+    if (!SplitRecord(line, &fields, &quoted)) {
+      return Status::InvalidArgument("malformed CSV at line " +
+                                     std::to_string(lineno));
+    }
+    if (fields.size() != headers.size()) {
+      return Status::InvalidArgument(
+          "arity mismatch at line " + std::to_string(lineno) + ": expected " +
+          std::to_string(headers.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      values.push_back(InferValue(fields[i], quoted[i]));
+    }
+    rel.AddBaseRow(std::move(values), id++);
+  }
+  return rel;
+}
+
+Status LoadCsvFile(const std::string& path, const std::string& table,
+                   Catalog* catalog) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  GSOPT_ASSIGN_OR_RETURN(Relation rel, ParseCsv(table, buf.str()));
+  return catalog->Register(table, std::move(rel));
+}
+
+std::string ToCsv(const Relation& relation) {
+  std::string out;
+  for (int i = 0; i < relation.schema().size(); ++i) {
+    if (i) out += ",";
+    out += relation.schema().attr(i).name;
+  }
+  out += "\n";
+  for (const Tuple& t : relation.rows()) {
+    for (size_t i = 0; i < t.values.size(); ++i) {
+      if (i) out += ",";
+      out += EscapeField(t.values[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gsopt

@@ -1,0 +1,27 @@
+// CSV import/export so the library is usable on real data files. Values
+// are inferred per cell: empty -> NULL, integer, decimal, else string.
+#ifndef GSOPT_RELATIONAL_CSV_H_
+#define GSOPT_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "relational/catalog.h"
+
+namespace gsopt {
+
+// Parses CSV text (first line = column names) into a base relation named
+// `table`. Supports quoted fields ("a,b" and doubled "" escapes).
+StatusOr<Relation> ParseCsv(const std::string& table,
+                            const std::string& text);
+
+// Reads a CSV file and registers it in the catalog under `table`.
+Status LoadCsvFile(const std::string& path, const std::string& table,
+                   Catalog* catalog);
+
+// Serializes a relation back to CSV (header + rows; NULL -> empty field).
+std::string ToCsv(const Relation& relation);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_CSV_H_

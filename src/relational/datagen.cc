@@ -1,0 +1,53 @@
+#include "relational/datagen.h"
+
+#include "base/check.h"
+
+namespace gsopt {
+
+Relation MakeRandomRelation(const std::string& name,
+                            const std::vector<std::string>& columns,
+                            const RandomRelationOptions& options, Rng* rng) {
+  Schema schema;
+  for (const std::string& c : columns) schema.Append(Attribute{name, c});
+  Relation r(schema, VirtualSchema({name}));
+  r.Reserve(options.num_rows);
+  for (int i = 0; i < options.num_rows; ++i) {
+    std::vector<Value> values;
+    values.reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (options.null_fraction > 0 && rng->Bernoulli(options.null_fraction)) {
+        values.push_back(Value::Null());
+      } else {
+        values.push_back(Value::Int(rng->Uniform(0, options.domain - 1)));
+      }
+    }
+    r.AddBaseRow(std::move(values), i);
+  }
+  return r;
+}
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<Value>>& rows) {
+  Schema schema;
+  for (const std::string& c : columns) schema.Append(Attribute{name, c});
+  Relation r(schema, VirtualSchema({name}));
+  RowId id = 0;
+  for (const auto& row : rows) {
+    GSOPT_CHECK(row.size() == columns.size());
+    r.AddBaseRow(row, id++);
+  }
+  return r;
+}
+
+void AddRandomTables(int n, const RandomRelationOptions& options, Rng* rng,
+                     Catalog* catalog) {
+  for (int i = 1; i <= n; ++i) {
+    std::string name = "r" + std::to_string(i);
+    Relation rel =
+        MakeRandomRelation(name, {"a", "b", "c"}, options, rng);
+    GSOPT_CHECK(catalog->Register(name, std::move(rel)).ok());
+  }
+}
+
+}  // namespace gsopt

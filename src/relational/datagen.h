@@ -1,0 +1,44 @@
+// Seeded synthetic data generation. The paper's motivating workloads are
+// proprietary IBM examples; these generators produce relations with
+// controllable cardinality, domain size (hence join selectivity) and null
+// fraction, exercising the same regimes (see DESIGN.md §3).
+#ifndef GSOPT_RELATIONAL_DATAGEN_H_
+#define GSOPT_RELATIONAL_DATAGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "relational/catalog.h"
+#include "relational/relation.h"
+
+namespace gsopt {
+
+struct RandomRelationOptions {
+  int num_rows = 16;
+  // Values are uniform integers in [0, domain). Smaller domains => higher
+  // join selectivity and more duplicates.
+  int64_t domain = 8;
+  // Probability that an individual value is NULL.
+  double null_fraction = 0.0;
+};
+
+// Builds a base relation `name` with the given columns and random integer
+// contents; row ids are 0..num_rows-1.
+Relation MakeRandomRelation(const std::string& name,
+                            const std::vector<std::string>& columns,
+                            const RandomRelationOptions& options, Rng* rng);
+
+// Builds a base relation from explicit rows of values.
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& columns,
+                      const std::vector<std::vector<Value>>& rows);
+
+// Populates `catalog` with `n` relations named r1..rn, each with columns
+// shared by the generators used in property tests (a, b, c).
+void AddRandomTables(int n, const RandomRelationOptions& options, Rng* rng,
+                     Catalog* catalog);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_DATAGEN_H_

@@ -1,0 +1,223 @@
+#include "relational/expr.h"
+
+#include "base/check.h"
+
+namespace gsopt {
+
+ScalarPtr Scalar::Column(std::string rel, std::string name) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kColumn;
+  s->rel_ = std::move(rel);
+  s->name_ = std::move(name);
+  return s;
+}
+
+ScalarPtr Scalar::Const(Value v) {
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kConst;
+  s->constant_ = std::move(v);
+  return s;
+}
+
+ScalarPtr Scalar::Arith(ArithOp op, ScalarPtr lhs, ScalarPtr rhs) {
+  GSOPT_CHECK(lhs != nullptr && rhs != nullptr);
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kArith;
+  s->arith_op_ = op;
+  s->lhs_ = std::move(lhs);
+  s->rhs_ = std::move(rhs);
+  return s;
+}
+
+void Scalar::CollectColumns(std::vector<Attribute>* out) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      out->push_back(Attribute{rel_, name_});
+      break;
+    case Kind::kConst:
+      break;
+    case Kind::kArith:
+      lhs_->CollectColumns(out);
+      rhs_->CollectColumns(out);
+      break;
+  }
+}
+
+Value Scalar::Eval(const Tuple& tuple, const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kColumn: {
+      int i = schema.Find(rel_, name_);
+      if (i < 0) return Value::Null();
+      return tuple.values[i];
+    }
+    case Kind::kConst:
+      return constant_;
+    case Kind::kArith:
+      return EvalArith(arith_op_, lhs_->Eval(tuple, schema),
+                       rhs_->Eval(tuple, schema));
+  }
+  return Value::Null();
+}
+
+Status Scalar::Validate(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      if (schema.Find(rel_, name_) < 0) {
+        return Status::NotFound("column " + rel_ + "." + name_ +
+                                " not in schema " + schema.ToString());
+      }
+      return Status::OK();
+    case Kind::kConst:
+      return Status::OK();
+    case Kind::kArith:
+      GSOPT_RETURN_IF_ERROR(lhs_->Validate(schema));
+      return rhs_->Validate(schema);
+  }
+  return Status::OK();
+}
+
+std::string Scalar::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return rel_ + "." + name_;
+    case Kind::kConst:
+      return constant_.ToString();
+    case Kind::kArith:
+      return "(" + lhs_->ToString() + " " + ArithOpName(arith_op_) + " " +
+             rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+std::set<std::string> Atom::RelNames() const {
+  std::vector<Attribute> cols;
+  lhs->CollectColumns(&cols);
+  if (rhs) rhs->CollectColumns(&cols);
+  std::set<std::string> rels;
+  for (const Attribute& a : cols) rels.insert(a.rel);
+  return rels;
+}
+
+Tri Atom::Eval(const Tuple& tuple, const Schema& schema) const {
+  switch (kind) {
+    case Kind::kCompare:
+      return EvalCmp(op, lhs->Eval(tuple, schema), rhs->Eval(tuple, schema));
+    case Kind::kIsNull:
+      return lhs->Eval(tuple, schema).is_null() ? Tri::kTrue : Tri::kFalse;
+    case Kind::kIsNotNull:
+      return lhs->Eval(tuple, schema).is_null() ? Tri::kFalse : Tri::kTrue;
+  }
+  return Tri::kUnknown;
+}
+
+Status Atom::Validate(const Schema& schema) const {
+  GSOPT_RETURN_IF_ERROR(lhs->Validate(schema));
+  if (rhs) return rhs->Validate(schema);
+  return Status::OK();
+}
+
+std::string Atom::ToString() const {
+  switch (kind) {
+    case Kind::kIsNull:
+      return lhs->ToString() + " IS NULL";
+    case Kind::kIsNotNull:
+      return lhs->ToString() + " IS NOT NULL";
+    case Kind::kCompare:
+      break;
+  }
+  return lhs->ToString() + " " + CmpOpName(op) + " " + rhs->ToString();
+}
+
+Atom MakeAtom(const std::string& lrel, const std::string& lcol, CmpOp op,
+              const std::string& rrel, const std::string& rcol) {
+  Atom a;
+  a.lhs = Scalar::Column(lrel, lcol);
+  a.op = op;
+  a.rhs = Scalar::Column(rrel, rcol);
+  return a;
+}
+
+Atom MakeConstAtom(const std::string& lrel, const std::string& lcol, CmpOp op,
+                   Value v) {
+  Atom a;
+  a.lhs = Scalar::Column(lrel, lcol);
+  a.op = op;
+  a.rhs = Scalar::Const(std::move(v));
+  return a;
+}
+
+Atom MakeTautologyAtom() {
+  Atom a;
+  a.lhs = Scalar::Const(Value::Int(1));
+  a.op = CmpOp::kEq;
+  a.rhs = Scalar::Const(Value::Int(1));
+  return a;
+}
+
+Atom MakeIsNullAtom(const std::string& rel, const std::string& col,
+                    bool negated) {
+  Atom a;
+  a.kind = negated ? Atom::Kind::kIsNotNull : Atom::Kind::kIsNull;
+  a.lhs = Scalar::Column(rel, col);
+  return a;
+}
+
+Predicate Predicate::And(const Predicate& a, const Predicate& b) {
+  std::vector<Atom> atoms = a.atoms_;
+  atoms.insert(atoms.end(), b.atoms_.begin(), b.atoms_.end());
+  return Predicate(std::move(atoms));
+}
+
+std::set<std::string> Predicate::RelNames() const {
+  std::set<std::string> rels;
+  for (const Atom& a : atoms_) {
+    auto r = a.RelNames();
+    rels.insert(r.begin(), r.end());
+  }
+  return rels;
+}
+
+Tri Predicate::Eval(const Tuple& tuple, const Schema& schema) const {
+  Tri result = Tri::kTrue;
+  for (const Atom& a : atoms_) {
+    result = TriAnd(result, a.Eval(tuple, schema));
+    if (result == Tri::kFalse) return Tri::kFalse;
+  }
+  return result;
+}
+
+Status Predicate::Validate(const Schema& schema) const {
+  for (const Atom& a : atoms_) {
+    GSOPT_RETURN_IF_ERROR(a.Validate(schema));
+  }
+  return Status::OK();
+}
+
+bool Predicate::IsNullIntolerant() const {
+  for (const Atom& a : atoms_) {
+    if (!a.IsNullIntolerant()) return false;
+  }
+  return true;
+}
+
+std::set<std::string> Predicate::NullRejectedRels() const {
+  std::set<std::string> rels;
+  for (const Atom& a : atoms_) {
+    if (!a.IsNullIntolerant()) continue;
+    auto r = a.RelNames();
+    rels.insert(r.begin(), r.end());
+  }
+  return rels;
+}
+
+std::string Predicate::ToString() const {
+  if (atoms_.empty()) return "TRUE";
+  std::string s;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) s += " AND ";
+    s += atoms_[i].ToString();
+  }
+  return s;
+}
+
+}  // namespace gsopt

@@ -1,0 +1,153 @@
+// Scalar expressions and conjunctive predicates.
+//
+// Following the paper (footnote 1), predicates attached to binary operators
+// are conjunctions p = p1 ^ p2 ^ ... ^ pn of *atoms*; each atom compares two
+// scalar terms (columns, constants, arithmetic over them). sch(p) is the set
+// of relation qualifiers an atom references; an atom referencing exactly two
+// relations is "simple", more is part of a "complex" predicate. Comparison
+// atoms are null in-tolerant by construction (footnote 2): any NULL operand
+// makes the atom UNKNOWN, which selection treats as FALSE.
+#ifndef GSOPT_RELATIONAL_EXPR_H_
+#define GSOPT_RELATIONAL_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace gsopt {
+
+class Scalar;
+using ScalarPtr = std::shared_ptr<const Scalar>;
+
+class Scalar {
+ public:
+  enum class Kind { kColumn, kConst, kArith };
+
+  static ScalarPtr Column(std::string rel, std::string name);
+  static ScalarPtr Const(Value v);
+  static ScalarPtr Arith(ArithOp op, ScalarPtr lhs, ScalarPtr rhs);
+
+  Kind kind() const { return kind_; }
+  const std::string& rel() const { return rel_; }
+  const std::string& name() const { return name_; }
+  const Value& constant() const { return constant_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const ScalarPtr& lhs() const { return lhs_; }
+  const ScalarPtr& rhs() const { return rhs_; }
+
+  // All column references in this term.
+  void CollectColumns(std::vector<Attribute>* out) const;
+
+  // Evaluates against a tuple, resolving columns by name in `schema`.
+  // Unresolvable columns evaluate to NULL (callers that need strictness
+  // validate resolvability up front via Validate()).
+  Value Eval(const Tuple& tuple, const Schema& schema) const;
+
+  // Verifies every referenced column resolves in `schema`.
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  Scalar() = default;
+
+  Kind kind_ = Kind::kConst;
+  std::string rel_, name_;   // kColumn
+  Value constant_;           // kConst
+  ArithOp arith_op_ = ArithOp::kAdd;  // kArith
+  ScalarPtr lhs_, rhs_;
+};
+
+// One atom: a comparison `lhs op rhs`, or a null test `lhs IS [NOT] NULL`.
+struct Atom {
+  enum class Kind { kCompare, kIsNull, kIsNotNull };
+  Kind kind = Kind::kCompare;
+  ScalarPtr lhs;
+  CmpOp op = CmpOp::kEq;
+  ScalarPtr rhs;  // null for the IS [NOT] NULL kinds
+
+  // Relation qualifiers referenced by either side.
+  std::set<std::string> RelNames() const;
+
+  Tri Eval(const Tuple& tuple, const Schema& schema) const;
+
+  Status Validate(const Schema& schema) const;
+
+  // Null in-tolerance (paper footnote 2): does the atom evaluate to
+  // non-TRUE whenever a referenced attribute is NULL? Comparisons and
+  // IS NOT NULL are intolerant; IS NULL is TOLERANT -- tolerant atoms
+  // must not participate in reordering or outer-join simplification.
+  bool IsNullIntolerant() const { return kind != Kind::kIsNull; }
+
+  std::string ToString() const;
+
+  // Structural equality (used to dedup predicates during enumeration).
+  bool SameAs(const Atom& other) const {
+    return ToString() == other.ToString();
+  }
+};
+
+// Convenience atom builders.
+Atom MakeAtom(const std::string& lrel, const std::string& lcol, CmpOp op,
+              const std::string& rrel, const std::string& rcol);
+Atom MakeConstAtom(const std::string& lrel, const std::string& lcol, CmpOp op,
+                   Value v);
+// `1 = 1`: always TRUE; represents a cartesian operator's predicate.
+Atom MakeTautologyAtom();
+// `rel.col IS NULL` / `rel.col IS NOT NULL`.
+Atom MakeIsNullAtom(const std::string& rel, const std::string& col,
+                    bool negated);
+
+// A conjunction of atoms. The empty predicate is TRUE.
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+  explicit Predicate(Atom atom) { atoms_.push_back(std::move(atom)); }
+
+  static Predicate True() { return Predicate(); }
+  static Predicate And(const Predicate& a, const Predicate& b);
+
+  bool IsTrue() const { return atoms_.empty(); }
+  int NumAtoms() const { return static_cast<int>(atoms_.size()); }
+  const Atom& atom(int i) const { return atoms_[i]; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  void AddAtom(Atom a) { atoms_.push_back(std::move(a)); }
+
+  std::set<std::string> RelNames() const;
+
+  // True iff the conjunction references more than two relations — the
+  // paper's "complex predicate".
+  bool IsComplex() const { return RelNames().size() > 2; }
+
+  // All atoms null in-tolerant (the paper's reordering precondition).
+  bool IsNullIntolerant() const;
+
+  // Relations referenced by null-INTOLERANT atoms only: padded rows over
+  // these relations cannot satisfy the predicate (drives outer-join
+  // simplification).
+  std::set<std::string> NullRejectedRels() const;
+
+  Tri Eval(const Tuple& tuple, const Schema& schema) const;
+
+  // TRUE-under-3VL check used by selection and join kernels.
+  bool Satisfied(const Tuple& tuple, const Schema& schema) const {
+    return Eval(tuple, schema) == Tri::kTrue;
+  }
+
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_EXPR_H_

@@ -1,0 +1,57 @@
+// Materialized relation r = <R, V, E>: real schema, virtual schema and a
+// bag of tuples. All executor kernels consume and produce Relations.
+#ifndef GSOPT_RELATIONAL_RELATION_H_
+#define GSOPT_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace gsopt {
+
+class Relation {
+ public:
+  Relation() = default;
+  Relation(Schema schema, VirtualSchema vschema)
+      : schema_(std::move(schema)), vschema_(std::move(vschema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const VirtualSchema& vschema() const { return vschema_; }
+
+  int NumRows() const { return static_cast<int>(rows_.size()); }
+  const Tuple& row(int i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  void Add(Tuple t);
+
+  // Appends a row of real values, assigning the given row id to every
+  // virtual attribute (for single-base-relation relations).
+  void AddBaseRow(std::vector<Value> values, RowId id);
+
+  // A tuple of all-NULL values / all-null row ids shaped like this relation.
+  Tuple NullTuple() const;
+
+  void Reserve(int n) { rows_.reserve(n); }
+
+  // Multiset equality over real attributes, matching columns by qualified
+  // name (column order independent). Virtual attributes are ignored: two
+  // plans are equivalent iff their visible extensions match.
+  static bool BagEquals(const Relation& a, const Relation& b);
+
+  // Human-readable table (used by examples and failure messages).
+  std::string ToString(int max_rows = 50) const;
+
+  // Canonical multiset fingerprint (sorted rows over name-sorted columns).
+  std::string CanonicalString() const;
+
+ private:
+  Schema schema_;
+  VirtualSchema vschema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_RELATION_H_

@@ -1,0 +1,73 @@
+#include "relational/schema.h"
+
+namespace gsopt {
+
+int Schema::Find(const std::string& rel, const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (attrs_[i].rel == rel && attrs_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::FindUnqualified(const std::string& name) const {
+  int found = -1;
+  for (int i = 0; i < size(); ++i) {
+    if (attrs_[i].name == name) {
+      if (found >= 0) return -2;
+      found = i;
+    }
+  }
+  return found;
+}
+
+StatusOr<int> Schema::Resolve(const std::string& rel,
+                              const std::string& name) const {
+  if (!rel.empty()) {
+    int i = Find(rel, name);
+    if (i < 0) {
+      return Status::NotFound("no column " + rel + "." + name + " in schema " +
+                              ToString());
+    }
+    return i;
+  }
+  int i = FindUnqualified(name);
+  if (i == -1) {
+    return Status::NotFound("no column " + name + " in schema " + ToString());
+  }
+  if (i == -2) {
+    return Status::InvalidArgument("ambiguous column " + name + " in schema " +
+                                   ToString());
+  }
+  return i;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Attribute> attrs = a.attrs_;
+  attrs.insert(attrs.end(), b.attrs_.begin(), b.attrs_.end());
+  return Schema(std::move(attrs));
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (int i = 0; i < size(); ++i) {
+    if (i) s += ", ";
+    s += attrs_[i].Qualified();
+  }
+  return s + ")";
+}
+
+int VirtualSchema::Find(const std::string& rel) const {
+  for (int i = 0; i < size(); ++i) {
+    if (rels_[i] == rel) return i;
+  }
+  return -1;
+}
+
+VirtualSchema VirtualSchema::Concat(const VirtualSchema& a,
+                                    const VirtualSchema& b) {
+  std::vector<std::string> rels = a.rels_;
+  rels.insert(rels.end(), b.rels_.begin(), b.rels_.end());
+  return VirtualSchema(std::move(rels));
+}
+
+}  // namespace gsopt

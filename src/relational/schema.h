@@ -1,0 +1,88 @@
+// Schema model, following the paper's r = <R, V, E>:
+//  * the real schema R is an ordered list of relation-qualified attributes;
+//  * the virtual schema V lists the base relations whose row identifiers
+//    ("virtual attributes") the tuples carry.
+// Virtual attributes make the generalized-selection difference
+// pi_{Ri,Vi}(r) - pi_{Ri,Vi}(sigma_p(r)) exact under duplicates.
+#ifndef GSOPT_RELATIONAL_SCHEMA_H_
+#define GSOPT_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace gsopt {
+
+struct Attribute {
+  std::string rel;   // base relation (or view) qualifier
+  std::string name;  // column name
+
+  std::string Qualified() const { return rel + "." + name; }
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.rel == b.rel && a.name == b.name;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  int size() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attr(int i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  void Append(Attribute a) { attrs_.push_back(std::move(a)); }
+
+  // Index of rel.name, or -1.
+  int Find(const std::string& rel, const std::string& name) const;
+
+  // Index of the unique attribute called `name` regardless of qualifier;
+  // -1 if absent, -2 if ambiguous.
+  int FindUnqualified(const std::string& name) const;
+
+  StatusOr<int> Resolve(const std::string& rel, const std::string& name) const;
+
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+// Virtual schema: the ordered list of base relations whose row ids a
+// composite tuple carries. (`V1 union V2` in the paper's outer union.)
+class VirtualSchema {
+ public:
+  VirtualSchema() = default;
+  explicit VirtualSchema(std::vector<std::string> rels)
+      : rels_(std::move(rels)) {}
+
+  int size() const { return static_cast<int>(rels_.size()); }
+  const std::string& rel(int i) const { return rels_[i]; }
+  const std::vector<std::string>& rels() const { return rels_; }
+
+  void Append(std::string rel) { rels_.push_back(std::move(rel)); }
+
+  int Find(const std::string& rel) const;
+
+  static VirtualSchema Concat(const VirtualSchema& a, const VirtualSchema& b);
+
+  friend bool operator==(const VirtualSchema& a, const VirtualSchema& b) {
+    return a.rels_ == b.rels_;
+  }
+
+ private:
+  std::vector<std::string> rels_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,39 @@
+// Tuples carry real attribute values plus one (nullable) row id per base
+// relation in the owning relation's virtual schema.
+#ifndef GSOPT_RELATIONAL_TUPLE_H_
+#define GSOPT_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace gsopt {
+
+using RowId = int64_t;
+inline constexpr RowId kNullRowId = -1;
+
+struct Tuple {
+  std::vector<Value> values;
+  std::vector<RowId> vids;
+
+  Tuple() = default;
+  Tuple(std::vector<Value> v, std::vector<RowId> ids)
+      : values(std::move(v)), vids(std::move(ids)) {}
+
+  // Concatenation of two tuples (cartesian product row).
+  static Tuple Concat(const Tuple& a, const Tuple& b) {
+    Tuple t;
+    t.values.reserve(a.values.size() + b.values.size());
+    t.values.insert(t.values.end(), a.values.begin(), a.values.end());
+    t.values.insert(t.values.end(), b.values.begin(), b.values.end());
+    t.vids.reserve(a.vids.size() + b.vids.size());
+    t.vids.insert(t.vids.end(), a.vids.begin(), a.vids.end());
+    t.vids.insert(t.vids.end(), b.vids.begin(), b.vids.end());
+    return t;
+  }
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_TUPLE_H_

@@ -1,0 +1,189 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "base/check.h"
+
+namespace gsopt {
+
+std::optional<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (a.IsNumeric() && b.IsNumeric()) {
+    if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    int c = a.AsString().compare(b.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return std::nullopt;  // incomparable types behave like UNKNOWN
+}
+
+bool Value::IdentityEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.IsNumeric() != b.IsNumeric()) return false;
+  auto c = Compare(a, b);
+  return c.has_value() && *c == 0;
+}
+
+bool Value::IdentityLess(const Value& a, const Value& b) {
+  // Order: NULL < numerics < strings; numerics by value, strings lexical.
+  auto rank = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(a), rb = rank(b);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // NULL == NULL
+  auto c = Compare(a, b);
+  GSOPT_DCHECK(c.has_value());
+  return *c < 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt: {
+      // Hash ints through their double value so 1 and 1.0 collide, matching
+      // IdentityEquals' numeric coercion.
+      double d = AsDouble();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(std::get<double>(rep_));
+      return s;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+Tri EvalCmp(CmpOp op, const Value& a, const Value& b) {
+  std::optional<int> c = Value::Compare(a, b);
+  if (!c.has_value()) return Tri::kUnknown;
+  bool r = false;
+  switch (op) {
+    case CmpOp::kEq:
+      r = (*c == 0);
+      break;
+    case CmpOp::kNe:
+      r = (*c != 0);
+      break;
+    case CmpOp::kLt:
+      r = (*c < 0);
+      break;
+    case CmpOp::kLe:
+      r = (*c <= 0);
+      break;
+    case CmpOp::kGt:
+      r = (*c > 0);
+      break;
+    case CmpOp::kGe:
+      r = (*c >= 0);
+      break;
+  }
+  return r ? Tri::kTrue : Tri::kFalse;
+}
+
+std::string CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Value EvalArith(ArithOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) return Value::Null();
+  bool both_int = a.type() == ValueType::kInt && b.type() == ValueType::kInt;
+  if (both_int && op != ArithOp::kDiv) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Int(x + y);
+      case ArithOp::kSub:
+        return Value::Int(x - y);
+      case ArithOp::kMul:
+        return Value::Int(x * y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Double(x + y);
+    case ArithOp::kSub:
+      return Value::Double(x - y);
+    case ArithOp::kMul:
+      return Value::Double(x * y);
+    case ArithOp::kDiv:
+      if (y == 0.0) return Value::Null();
+      return Value::Double(x / y);
+  }
+  return Value::Null();
+}
+
+std::string ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+}  // namespace gsopt

@@ -1,0 +1,90 @@
+// SQL value kernel: typed values (NULL / INT64 / DOUBLE / STRING) with
+// three-valued-logic comparison semantics. Comparison between numerics
+// coerces INT64 -> DOUBLE, mirroring SQL numeric comparison.
+#ifndef GSOPT_RELATIONAL_VALUE_H_
+#define GSOPT_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace gsopt {
+
+enum class ValueType { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+// Result of a 3VL predicate: FALSE < UNKNOWN < TRUE.
+enum class Tri { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+inline Tri TriAnd(Tri a, Tri b) { return a < b ? a : b; }
+inline Tri TriOr(Tri a, Tri b) { return a > b ? a : b; }
+inline Tri TriNot(Tri a) {
+  if (a == Tri::kUnknown) return Tri::kUnknown;
+  return a == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+}
+
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const {
+    if (type() == ValueType::kInt) return static_cast<double>(AsInt());
+    return std::get<double>(rep_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  // SQL comparison: nullopt if either side is NULL or the types are
+  // incomparable (string vs numeric); otherwise <0, 0, >0.
+  static std::optional<int> Compare(const Value& a, const Value& b);
+
+  // Deep equality treating NULL == NULL (used by grouping, duplicate
+  // elimination and result comparison; NOT by predicates).
+  static bool IdentityEquals(const Value& a, const Value& b);
+
+  // Total order treating NULL as lowest (used to canonicalize relations in
+  // tests and printing; NOT SQL semantics).
+  static bool IdentityLess(const Value& a, const Value& b);
+
+  // Stable hash consistent with IdentityEquals.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+// 3VL comparison outcome of `a op b` for a comparison operator.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+Tri EvalCmp(CmpOp op, const Value& a, const Value& b);
+
+std::string CmpOpName(CmpOp op);
+
+// SQL arithmetic with NULL propagation. Division by zero yields NULL (we
+// do not model SQL errors; this keeps evaluation total, which randomized
+// property tests rely on).
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+Value EvalArith(ArithOp op, const Value& a, const Value& b);
+
+std::string ArithOpName(ArithOp op);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_VALUE_H_

@@ -1,0 +1,93 @@
+// SQL abstract syntax for the subset the paper works in: SELECT-FROM-WHERE
+// with GROUP BY / HAVING, inner and left/right/full outer joins with ON
+// predicates, views as parenthesized subqueries with aliases, aggregate
+// functions (COUNT/SUM/MIN/MAX/AVG, DISTINCT variants) and arithmetic.
+#ifndef GSOPT_SQL_AST_H_
+#define GSOPT_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "relational/value.h"
+
+namespace gsopt::sql {
+
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+struct SqlExpr {
+  enum class Kind { kColumn, kLiteral, kArith, kAgg, kStar };
+  Kind kind = Kind::kLiteral;
+
+  // kColumn
+  std::string qualifier;  // may be empty
+  std::string column;
+  // kLiteral
+  Value literal;
+  // kArith
+  ArithOp arith_op = ArithOp::kAdd;
+  SqlExprPtr lhs, rhs;
+  // kAgg
+  exec::AggFunc agg_func = exec::AggFunc::kCountStar;
+  bool agg_distinct = false;
+  SqlExprPtr agg_input;  // null for COUNT(*)
+
+  bool ContainsAggregate() const {
+    if (kind == Kind::kAgg) return true;
+    if (kind == Kind::kArith) {
+      return (lhs && lhs->ContainsAggregate()) ||
+             (rhs && rhs->ContainsAggregate());
+    }
+    return false;
+  }
+};
+
+struct SqlComparison {
+  enum class NullTest { kNone, kIsNull, kIsNotNull };
+  SqlExprPtr lhs;
+  CmpOp op = CmpOp::kEq;
+  SqlExprPtr rhs;        // null when null_test != kNone
+  NullTest null_test = NullTest::kNone;
+};
+
+using SqlPredicate = std::vector<SqlComparison>;
+
+struct SqlSelectItem {
+  bool star = false;
+  SqlExprPtr expr;
+  std::string alias;  // may be empty
+};
+
+struct SqlQuery;
+
+struct SqlTableRef {
+  enum class Kind { kTable, kSubquery, kJoin };
+  Kind kind = Kind::kTable;
+
+  // kTable
+  std::string table;
+  // kSubquery
+  std::shared_ptr<SqlQuery> subquery;
+  std::string alias;
+  // kJoin
+  std::shared_ptr<SqlTableRef> left, right;
+  // kInnerJoin / kLeftOuterJoin / kRightOuterJoin / kFullOuterJoin encoded
+  // as 0..3 to avoid depending on algebra here.
+  enum class JoinKind { kInner, kLeft, kRight, kFull } join_kind =
+      JoinKind::kInner;
+  SqlPredicate on;
+};
+
+struct SqlQuery {
+  std::vector<SqlSelectItem> select;
+  std::vector<std::shared_ptr<SqlTableRef>> from;
+  SqlPredicate where;
+  std::vector<SqlExprPtr> group_by;  // plain columns
+  SqlPredicate having;
+};
+
+}  // namespace gsopt::sql
+
+#endif  // GSOPT_SQL_AST_H_

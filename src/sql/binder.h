@@ -1,0 +1,26 @@
+// Binder: SQL AST -> logical algebra. Subqueries in FROM are merged at
+// bind time (their visible columns are mapped back to underlying
+// attributes; aggregate outputs are qualified by the view alias), so the
+// optimizer sees one flat expression -- views only become opaque when the
+// normalization rules genuinely cannot merge them.
+#ifndef GSOPT_SQL_BINDER_H_
+#define GSOPT_SQL_BINDER_H_
+
+#include <string>
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+#include "sql/ast.h"
+
+namespace gsopt::sql {
+
+StatusOr<NodePtr> Bind(const SqlQuery& query, const Catalog& catalog);
+
+// Parse + bind in one step.
+StatusOr<NodePtr> ParseAndBind(const std::string& text,
+                               const Catalog& catalog);
+
+}  // namespace gsopt::sql
+
+#endif  // GSOPT_SQL_BINDER_H_

@@ -1,0 +1,34 @@
+// SQL lexer: case-insensitive keywords, identifiers, integer/decimal and
+// string literals, comparison/arithmetic punctuation.
+#ifndef GSOPT_SQL_LEXER_H_
+#define GSOPT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace gsopt::sql {
+
+enum class TokenKind {
+  kIdent,
+  kKeyword,
+  kNumber,
+  kString,
+  kPunct,  // one of ( ) , . + - * / = < > <= >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // uppercased for keywords
+  double number = 0;
+  bool is_integer = false;
+  int position = 0;  // byte offset, for error messages
+};
+
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace gsopt::sql
+
+#endif  // GSOPT_SQL_LEXER_H_

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the SQL subset (see ast.h).
+#ifndef GSOPT_SQL_PARSER_H_
+#define GSOPT_SQL_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "sql/ast.h"
+
+namespace gsopt::sql {
+
+StatusOr<SqlQuery> Parse(const std::string& input);
+
+}  // namespace gsopt::sql
+
+#endif  // GSOPT_SQL_PARSER_H_

@@ -1,0 +1,65 @@
+// Correlated join-aggregate ("COUNT") nested queries -- the class the
+// paper's §1.1 motivates via [GANS87, MURA92]:
+//
+//   SELECT r1.a FROM r1
+//   WHERE r1.b θ1 (SELECT COUNT(*) FROM r2
+//                  WHERE r2.c = r1.c AND r2.d θ2
+//                        (SELECT COUNT(*) FROM r3
+//                         WHERE r2.e = r3.e AND r1.f = r3.f))
+//
+// Modeled as a chain of blocks: each block scans one relation, correlates
+// with its ancestors, and may compare a scalar over (this level +
+// ancestors) against COUNT(*) of the next block.
+#ifndef GSOPT_UNNEST_NESTED_QUERY_H_
+#define GSOPT_UNNEST_NESTED_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+
+namespace gsopt {
+
+struct CountCondition {
+  // Scalar over this block's and ancestors' columns, compared against
+  // COUNT(*) of the nested block:  lhs cmp COUNT(*).
+  ScalarPtr lhs;
+  CmpOp cmp = CmpOp::kEq;
+};
+
+struct NestedBlock {
+  std::string table;
+  // Non-correlated filter on this block's relation (may be empty).
+  Predicate local;
+  // Correlation with ancestor blocks; empty for the outermost block.
+  Predicate correlation;
+  // Present iff `nested` is set.
+  std::optional<CountCondition> condition;
+  std::shared_ptr<NestedBlock> nested;
+};
+
+struct NestedQuery {
+  NestedBlock outer;
+  std::vector<Attribute> select_cols;
+};
+
+// Ground truth: literal tuple-iteration semantics (the "very inefficient
+// nested-loops like processing strategy" commercial systems used).
+StatusOr<Relation> ExecuteTis(const NestedQuery& q, const Catalog& catalog);
+
+// Ganski/Muralikrishna-style unnesting into outer joins + generalized
+// projections, COUNT-bug safe: qualification of each level is applied by a
+// generalized selection that PRESERVES the ancestor levels, so outer
+// tuples whose nested count is zero survive with count 0 (the very place
+// the paper's GS operator earns its keep). The result is a normal algebra
+// tree the optimizer can reorder -- including plans that combine the two
+// inner relations first (the paper's motivation for Query 2).
+StatusOr<NodePtr> UnnestToAlgebra(const NestedQuery& q,
+                                  const Catalog& catalog);
+
+}  // namespace gsopt
+
+#endif  // GSOPT_UNNEST_NESTED_QUERY_H_

@@ -1,0 +1,77 @@
+#include "unnest/nested_query.h"
+
+#include "base/check.h"
+
+namespace gsopt {
+
+namespace {
+
+// Number of tuples of `block` qualifying under the environment `env`
+// (concatenation of all ancestor tuples).
+StatusOr<int64_t> CountQualified(const NestedBlock& block,
+                                 const Catalog& catalog, const Tuple& env,
+                                 const Schema& env_schema) {
+  GSOPT_ASSIGN_OR_RETURN(Relation rel, catalog.Get(block.table));
+  int64_t count = 0;
+  for (const Tuple& t : rel.rows()) {
+    Tuple extended = Tuple::Concat(env, t);
+    Schema extended_schema = Schema::Concat(env_schema, rel.schema());
+    if (!block.local.Satisfied(t, rel.schema())) continue;
+    if (!block.correlation.Satisfied(extended, extended_schema)) continue;
+    if (block.condition.has_value()) {
+      GSOPT_CHECK(block.nested != nullptr);
+      GSOPT_ASSIGN_OR_RETURN(
+          int64_t inner,
+          CountQualified(*block.nested, catalog, extended, extended_schema));
+      Value lhs = block.condition->lhs->Eval(extended, extended_schema);
+      if (EvalCmp(block.condition->cmp, lhs, Value::Int(inner)) !=
+          Tri::kTrue) {
+        continue;
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+StatusOr<Relation> ExecuteTis(const NestedQuery& q, const Catalog& catalog) {
+  const NestedBlock& outer = q.outer;
+  GSOPT_ASSIGN_OR_RETURN(Relation rel, catalog.Get(outer.table));
+
+  Schema out_schema;
+  std::vector<int> proj;
+  for (const Attribute& a : q.select_cols) {
+    int i = rel.schema().Find(a.rel, a.name);
+    if (i < 0) {
+      return Status::NotFound("select column " + a.Qualified() +
+                              " not in outer table");
+    }
+    out_schema.Append(a);
+    proj.push_back(i);
+  }
+  Relation out(out_schema, VirtualSchema({outer.table}));
+
+  for (const Tuple& t : rel.rows()) {
+    if (!outer.local.Satisfied(t, rel.schema())) continue;
+    if (outer.condition.has_value()) {
+      GSOPT_CHECK(outer.nested != nullptr);
+      GSOPT_ASSIGN_OR_RETURN(
+          int64_t inner,
+          CountQualified(*outer.nested, catalog, t, rel.schema()));
+      Value lhs = outer.condition->lhs->Eval(t, rel.schema());
+      if (EvalCmp(outer.condition->cmp, lhs, Value::Int(inner)) !=
+          Tri::kTrue) {
+        continue;
+      }
+    }
+    Tuple nt;
+    for (int i : proj) nt.values.push_back(t.values[i]);
+    nt.vids = t.vids;
+    out.Add(std::move(nt));
+  }
+  return out;
+}
+
+}  // namespace gsopt

@@ -1,0 +1,190 @@
+// Unit tests for the hypergraph analysis primitives on hand-built graphs:
+// path reachability, preserved sides with null-region blocking, away-side
+// computation, operator-above relation, units/qualifiers.
+#include "hypergraph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/hypergraph.h"
+
+namespace gsopt {
+namespace {
+
+Predicate P2(const std::string& a, const std::string& b) {
+  return Predicate(MakeAtom(a, "x", CmpOp::kEq, b, "x"));
+}
+
+// r1 ->A r2 ->B r3 (simple chain of LOJs).
+struct Chain3 {
+  Hypergraph h;
+  int r1, r2, r3, A, B;
+  Chain3() {
+    r1 = h.AddRelation("r1");
+    r2 = h.AddRelation("r2");
+    r3 = h.AddRelation("r3");
+    B = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r2),
+                   RelSet::Single(r3), P2("r2", "r3"));
+    A = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r1),
+                   RelSet::Single(r2), P2("r1", "r2"));
+  }
+};
+
+TEST(AnalysisTest, PathExistsRespectsBans) {
+  Chain3 c;
+  HypergraphAnalysis an(c.h);
+  EXPECT_TRUE(an.PathExists(c.r1, RelSet::Single(c.r3), RelSet()));
+  EXPECT_FALSE(
+      an.PathExists(c.r1, RelSet::Single(c.r3), RelSet::Single(c.B)));
+  EXPECT_TRUE(an.PathExists(c.r2, RelSet::Single(c.r2), RelSet()));
+}
+
+TEST(AnalysisTest, ChainPreservedSets) {
+  Chain3 c;
+  HypergraphAnalysis an(c.h);
+  // pres(A) = {r1}: r2, r3 are on the null side.
+  EXPECT_EQ(an.Pres(c.A), RelSet::Single(c.r1));
+  // pres(B) = {r1, r2}: r1 attaches through A, whose predicate does not
+  // touch B's null region {r3}.
+  EXPECT_EQ(an.Pres(c.B), RelSet({c.r1, c.r2}));
+  EXPECT_TRUE(an.Conf(c.A).empty());
+  EXPECT_TRUE(an.Conf(c.B).empty());
+}
+
+TEST(AnalysisTest, NullRegionBlocksRiding) {
+  // r1 ->A r3;  B = <{r1,r2-style}> : edge whose predicate touches A's
+  // null side blocks r2 from riding with r1.
+  Hypergraph h;
+  int r1 = h.AddRelation("r1");
+  int r2 = h.AddRelation("r2");
+  int r3 = h.AddRelation("r3");
+  int A = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r1),
+                     RelSet::Single(r3), P2("r1", "r3"));
+  // B connects {r1,r3} with r2 and its predicate references r3 (A's null
+  // region) -- r2 must NOT be in pres(A).
+  Predicate pb({MakeAtom("r2", "x", CmpOp::kEq, "r1", "x"),
+                MakeAtom("r2", "y", CmpOp::kLe, "r3", "y")});
+  RelSet v1({r1, r3});
+  int B = *h.AddEdge(EdgeKind::kDirected, v1, RelSet::Single(r2), pb);
+  (void)B;
+  HypergraphAnalysis an(h);
+  EXPECT_EQ(an.Pres(A), RelSet::Single(r1));
+}
+
+TEST(AnalysisTest, RidingAllowedWhenEdgeAvoidsNullRegion) {
+  // Same shape but B's predicate only touches r1: r2 rides with r1.
+  Hypergraph h;
+  int r1 = h.AddRelation("r1");
+  int r2 = h.AddRelation("r2");
+  int r3 = h.AddRelation("r3");
+  int A = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r1),
+                     RelSet::Single(r3), P2("r1", "r3"));
+  int B = *h.AddEdge(EdgeKind::kDirected, RelSet({r1}), RelSet::Single(r2),
+                     P2("r1", "r2"));
+  (void)B;
+  HypergraphAnalysis an(h);
+  EXPECT_EQ(an.Pres(A), RelSet({r1, r2}));
+}
+
+TEST(AnalysisTest, PresAwayPicksOppositeSide) {
+  // r1 <->F r2 ->B r3: away from B, F preserves {r1}.
+  Hypergraph h;
+  int r1 = h.AddRelation("r1");
+  int r2 = h.AddRelation("r2");
+  int r3 = h.AddRelation("r3");
+  int B = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r2),
+                     RelSet::Single(r3), P2("r2", "r3"));
+  int F = *h.AddEdge(EdgeKind::kBidirected, RelSet::Single(r1),
+                     RelSet::Single(r2), P2("r1", "r2"));
+  HypergraphAnalysis an(h);
+  EXPECT_EQ(an.PresAway(F, B), RelSet::Single(r1));
+  // For a directed edge, PresAway == Pres regardless of the away edge.
+  EXPECT_EQ(an.PresAway(B, F), an.Pres(B));
+}
+
+TEST(AnalysisTest, OperatorAboveRelation) {
+  Chain3 c;
+  HypergraphAnalysis an(c.h);
+  // A's null side region contains B entirely: A's operator is above B's.
+  EXPECT_TRUE(an.OperatorAbove(c.A, c.B));
+  EXPECT_FALSE(an.OperatorAbove(c.B, c.A));
+  EXPECT_FALSE(an.OperatorAbove(c.A, c.A));
+}
+
+TEST(AnalysisTest, ConfFindsFojThroughJoins) {
+  // join J(r1-r2), FOJ F(r2-r3): conf(J) = {F}.
+  Hypergraph h;
+  int r1 = h.AddRelation("r1");
+  int r2 = h.AddRelation("r2");
+  int r3 = h.AddRelation("r3");
+  int J = *h.AddEdge(EdgeKind::kUndirected, RelSet::Single(r1),
+                     RelSet::Single(r2), P2("r1", "r2"));
+  int F = *h.AddEdge(EdgeKind::kBidirected, RelSet::Single(r2),
+                     RelSet::Single(r3), P2("r2", "r3"));
+  HypergraphAnalysis an(h);
+  EXPECT_EQ(an.Conf(J), std::vector<int>{F});
+  EXPECT_TRUE(an.Ccoj(J).empty());
+  // Deferring a conjunct of J: compensate with F's away side {r3}... and
+  // the side containing J is {r1,r2}: groups are the two F sides' away
+  // parts -- here PresAway(F, J) = {r3}.
+  std::vector<RelSet> groups = an.DeferredGroups(J);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], RelSet::Single(r3));
+}
+
+TEST(HypergraphUnitsTest, QualifierLookupAndPreservedExpansion) {
+  Hypergraph h;
+  int u = h.AddUnit("#unit0", {"r1", "V1"});
+  int r2 = h.AddRelation("r2");
+  EXPECT_EQ(h.RelId("r1"), u);
+  EXPECT_EQ(h.RelId("V1"), u);
+  EXPECT_EQ(h.RelId("#unit0"), u);
+  EXPECT_EQ(h.RelId("r2"), r2);
+  Predicate p(MakeAtom("V1", "c", CmpOp::kEq, "r2", "x"));
+  int e = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(u),
+                     RelSet::Single(r2), p);
+  (void)e;
+  HypergraphAnalysis an(h);
+  auto groups = an.ToPreservedGroups({RelSet::Single(u)});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].count("r1"), 1u);
+  EXPECT_EQ(groups[0].count("V1"), 1u);
+}
+
+TEST(HypergraphTest, AddEdgeValidation) {
+  Hypergraph h;
+  int r1 = h.AddRelation("r1");
+  int r2 = h.AddRelation("r2");
+  // Empty hypernode.
+  EXPECT_FALSE(
+      h.AddEdge(EdgeKind::kUndirected, RelSet(), RelSet::Single(r2),
+                P2("r1", "r2"))
+          .ok());
+  // Overlapping hypernodes.
+  EXPECT_FALSE(h.AddEdge(EdgeKind::kUndirected, RelSet({r1, r2}),
+                         RelSet::Single(r2), P2("r1", "r2"))
+                   .ok());
+  // Atom escaping the endpoints.
+  h.AddRelation("r3");
+  EXPECT_FALSE(h.AddEdge(EdgeKind::kUndirected, RelSet::Single(r1),
+                         RelSet::Single(r2), P2("r1", "r3"))
+                   .ok());
+  // Unknown relation in predicate.
+  EXPECT_FALSE(h.AddEdge(EdgeKind::kUndirected, RelSet::Single(r1),
+                         RelSet::Single(r2), P2("r1", "zz"))
+                   .ok());
+}
+
+TEST(HypergraphTest, TruePredicateEdgeGetsTautologyAtom) {
+  Hypergraph h;
+  int r1 = h.AddRelation("r1");
+  int r2 = h.AddRelation("r2");
+  auto e = h.AddEdge(EdgeKind::kDirected, RelSet::Single(r1),
+                     RelSet::Single(r2), Predicate::True());
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(h.edge(*e).atoms.size(), 1u);
+  EXPECT_EQ(h.edge(*e).atoms[0].span, RelSet({r1, r2}));
+  EXPECT_TRUE(h.Connected(RelSet({r1, r2})));
+}
+
+}  // namespace
+}  // namespace gsopt

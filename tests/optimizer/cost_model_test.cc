@@ -1,0 +1,138 @@
+// Statistics collection and cost-model sanity: exact stats, monotone
+// selectivities, hash vs nested-loop cost separation, plan ranking.
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/explain.h"
+#include "base/rng.h"
+#include "relational/datagen.h"
+
+namespace gsopt {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+Catalog SmallCatalog() {
+  Catalog cat;
+  GSOPT_CHECK(cat.CreateTable("t", {"k", "v"}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(1), I(10)}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(1), I(20)}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(2), Value::Null()}).ok());
+  GSOPT_CHECK(cat.CreateTable("u", {"k"}).ok());
+  for (int i = 0; i < 10; ++i) GSOPT_CHECK(cat.Insert("u", {I(i)}).ok());
+  return cat;
+}
+
+TEST(StatisticsTest, ExactCountsAndDistincts) {
+  Catalog cat = SmallCatalog();
+  Statistics stats = Statistics::Collect(cat);
+  EXPECT_DOUBLE_EQ(stats.Rows("t"), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Distinct("t", "k"), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Distinct("t", "v"), 2.0);  // NULL not counted
+  EXPECT_DOUBLE_EQ(stats.Distinct("u", "k"), 10.0);
+  const TableStats* ts = stats.Table("t");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_NEAR(ts->columns.at("v").null_fraction, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.Table("nope"), nullptr);
+  EXPECT_DOUBLE_EQ(stats.Rows("nope"), 1.0);  // safe default
+}
+
+TEST(CostModelTest, SelectivityOrdering) {
+  Catalog cat = SmallCatalog();
+  CostModel model(Statistics::Collect(cat));
+  Predicate eq(MakeAtom("t", "k", CmpOp::kEq, "u", "k"));
+  Predicate rng(MakeAtom("t", "k", CmpOp::kLe, "u", "k"));
+  Predicate ne(MakeAtom("t", "k", CmpOp::kNe, "u", "k"));
+  double s_eq = model.Selectivity(eq);
+  double s_rng = model.Selectivity(rng);
+  double s_ne = model.Selectivity(ne);
+  EXPECT_LT(s_eq, s_rng);
+  EXPECT_LT(s_rng, s_ne);
+  // Conjunction multiplies (independence).
+  EXPECT_NEAR(model.Selectivity(Predicate::And(eq, rng)), s_eq * s_rng,
+              1e-12);
+  EXPECT_DOUBLE_EQ(model.Selectivity(Predicate::True()), 1.0);
+}
+
+TEST(CostModelTest, HashJoinBeatsNestedLoopInCost) {
+  Catalog cat;
+  Rng rngen(3);
+  RandomRelationOptions opt;
+  opt.num_rows = 200;
+  opt.domain = 50;
+  AddRandomTables(2, opt, &rngen, &cat);
+  CostModel model(Statistics::Collect(cat));
+  NodePtr equi = Node::Join(Node::Leaf("r1"), Node::Leaf("r2"),
+                            Predicate(MakeAtom("r1", "a", CmpOp::kEq, "r2",
+                                               "a")));
+  NodePtr theta = Node::Join(Node::Leaf("r1"), Node::Leaf("r2"),
+                             Predicate(MakeAtom("r1", "a", CmpOp::kLe, "r2",
+                                                "a")));
+  EXPECT_LT(model.Cost(equi), model.Cost(theta));
+}
+
+TEST(CostModelTest, OuterJoinNeverSmallerThanPreservedSide) {
+  Catalog cat;
+  Rng rngen(4);
+  RandomRelationOptions opt;
+  opt.num_rows = 100;
+  opt.domain = 1000;  // selective join
+  AddRandomTables(2, opt, &rngen, &cat);
+  CostModel model(Statistics::Collect(cat));
+  Predicate p(MakeAtom("r1", "a", CmpOp::kEq, "r2", "a"));
+  CostEstimate loj =
+      model.Estimate(Node::LeftOuterJoin(Node::Leaf("r1"), Node::Leaf("r2"),
+                                         p));
+  CostEstimate foj = model.Estimate(
+      Node::FullOuterJoin(Node::Leaf("r1"), Node::Leaf("r2"), p));
+  EXPECT_GE(loj.rows, 100.0);
+  EXPECT_GE(foj.rows, 200.0);
+}
+
+TEST(CostModelTest, SelectionReducesRowsNotBelowZero) {
+  Catalog cat = SmallCatalog();
+  CostModel model(Statistics::Collect(cat));
+  NodePtr scan = Node::Leaf("u");
+  NodePtr sel = Node::Select(
+      scan, Predicate(MakeConstAtom("u", "k", CmpOp::kEq, I(3))));
+  EXPECT_LT(model.Estimate(sel).rows, model.Estimate(scan).rows);
+  EXPECT_GT(model.Estimate(sel).rows, 0.0);
+  EXPECT_GT(model.Estimate(sel).cost, model.Estimate(scan).cost);
+}
+
+TEST(CostModelTest, GsCostsMoreThanPlainSelect) {
+  Catalog cat = SmallCatalog();
+  CostModel model(Statistics::Collect(cat));
+  NodePtr base = Node::Join(Node::Leaf("t"), Node::Leaf("u"),
+                            Predicate(MakeAtom("t", "k", CmpOp::kEq, "u",
+                                               "k")));
+  Predicate p(MakeAtom("t", "v", CmpOp::kLe, "u", "k"));
+  NodePtr sel = Node::Select(base, p);
+  NodePtr gs = Node::GeneralizedSelection(base, p,
+                                          {exec::PreservedGroup{"t"}});
+  EXPECT_GT(model.Cost(gs), model.Cost(sel));
+}
+
+TEST(ExplainTest, RendersTreeWithEstimates) {
+  Catalog cat = SmallCatalog();
+  CostModel model(Statistics::Collect(cat));
+  NodePtr plan = Node::GeneralizedSelection(
+      Node::LeftOuterJoin(Node::Leaf("t"), Node::Leaf("u"),
+                          Predicate(MakeAtom("t", "k", CmpOp::kEq, "u",
+                                             "k"))),
+      Predicate(MakeAtom("t", "v", CmpOp::kLe, "u", "k")),
+      {exec::PreservedGroup{"t"}});
+  std::string text = Explain(plan, model);
+  EXPECT_NE(text.find("GS["), std::string::npos);
+  EXPECT_NE(text.find("LOJ["), std::string::npos);
+  EXPECT_NE(text.find("scan t"), std::string::npos);
+  EXPECT_NE(text.find("rows="), std::string::npos);
+  EXPECT_NE(text.find("cost="), std::string::npos);
+  // Three levels of indentation: GS at 0, LOJ at 2, scans at 4.
+  EXPECT_NE(text.find("\n  LOJ"), std::string::npos);
+  EXPECT_NE(text.find("\n    scan t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsopt

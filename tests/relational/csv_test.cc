@@ -1,0 +1,71 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace gsopt {
+namespace {
+
+TEST(CsvTest, ParsesTypesAndNulls) {
+  auto r = ParseCsv("t", "a,b,c\n1,2.5,hello\n-3,,\"world\"\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->NumRows(), 2);
+  EXPECT_EQ(r->schema().ToString(), "(t.a, t.b, t.c)");
+  EXPECT_EQ(r->row(0).values[0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(r->row(0).values[1].AsDouble(), 2.5);
+  EXPECT_EQ(r->row(0).values[2].AsString(), "hello");
+  EXPECT_EQ(r->row(1).values[0].AsInt(), -3);
+  EXPECT_TRUE(r->row(1).values[1].is_null());
+  EXPECT_EQ(r->row(1).values[2].AsString(), "world");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndEscapes) {
+  auto r = ParseCsv("t", "x\n\"a,b\"\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row(0).values[0].AsString(), "a,b");
+  EXPECT_EQ(r->row(1).values[0].AsString(), "he said \"hi\"");
+}
+
+TEST(CsvTest, QuotedNumbersStayStrings) {
+  auto r = ParseCsv("t", "x\n\"42\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row(0).values[0].type(), ValueType::kString);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCsv("t", "").ok());
+  EXPECT_FALSE(ParseCsv("t", "a,b\n1\n").ok());       // arity
+  EXPECT_FALSE(ParseCsv("t", "a\n\"unterminated\n").ok());
+  EXPECT_FALSE(ParseCsv("t", ",b\n1,2\n").ok());      // empty column name
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto r = ParseCsv("t", "a,b\n1,alpha\n,\"x,y\"\n");
+  ASSERT_TRUE(r.ok());
+  std::string csv = ToCsv(*r);
+  auto again = ParseCsv("t", csv);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << csv;
+  EXPECT_TRUE(Relation::BagEquals(*r, *again));
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto r = ParseCsv("t", "a\n1\n\n2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2);
+}
+
+TEST(CsvTest, LoadFileIntoCatalog) {
+  std::string path = ::testing::TempDir() + "/gsopt_csv_test.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("k,v\n1,10\n2,20\n", f);
+  fclose(f);
+  Catalog cat;
+  ASSERT_TRUE(LoadCsvFile(path, "kv", &cat).ok());
+  auto rel = cat.Get("kv");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumRows(), 2);
+  EXPECT_FALSE(LoadCsvFile("/no/such/file.csv", "x", &cat).ok());
+}
+
+}  // namespace
+}  // namespace gsopt

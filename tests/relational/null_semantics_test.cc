@@ -1,0 +1,163 @@
+// IS [NOT] NULL atoms and the null-intolerance guard (paper footnote 2):
+// tolerant predicates must not reorder or drive outer-join simplification.
+#include <gtest/gtest.h>
+
+#include "algebra/execute.h"
+#include "algebra/simplify.h"
+#include "base/rng.h"
+#include "core/optimizer.h"
+#include "hypergraph/build.h"
+#include "relational/datagen.h"
+#include "sql/binder.h"
+
+namespace gsopt {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value N() { return Value::Null(); }
+
+TEST(IsNullAtomTest, EvaluationNeverUnknown) {
+  Relation r = MakeRelation("t", {"x"}, {{I(1)}, {N()}});
+  Atom is_null = MakeIsNullAtom("t", "x", /*negated=*/false);
+  Atom not_null = MakeIsNullAtom("t", "x", /*negated=*/true);
+  EXPECT_EQ(is_null.Eval(r.row(0), r.schema()), Tri::kFalse);
+  EXPECT_EQ(is_null.Eval(r.row(1), r.schema()), Tri::kTrue);
+  EXPECT_EQ(not_null.Eval(r.row(0), r.schema()), Tri::kTrue);
+  EXPECT_EQ(not_null.Eval(r.row(1), r.schema()), Tri::kFalse);
+}
+
+TEST(IsNullAtomTest, IntoleranceClassification) {
+  Atom cmp = MakeAtom("a", "x", CmpOp::kEq, "b", "x");
+  Atom is_null = MakeIsNullAtom("a", "x", false);
+  Atom not_null = MakeIsNullAtom("a", "x", true);
+  EXPECT_TRUE(cmp.IsNullIntolerant());
+  EXPECT_FALSE(is_null.IsNullIntolerant());
+  EXPECT_TRUE(not_null.IsNullIntolerant());
+
+  Predicate mixed({cmp, is_null});
+  EXPECT_FALSE(mixed.IsNullIntolerant());
+  // Only the intolerant atom's relations reject nulls.
+  auto rejected = mixed.NullRejectedRels();
+  EXPECT_EQ(rejected.count("b"), 1u);
+  EXPECT_EQ(rejected.size(), 2u);  // a (from cmp), b
+}
+
+TEST(IsNullAtomTest, ToStringAndSelect) {
+  Relation r = MakeRelation("t", {"x"}, {{I(1)}, {N()}, {I(2)}});
+  Atom a = MakeIsNullAtom("t", "x", false);
+  EXPECT_EQ(a.ToString(), "t.x IS NULL");
+  Relation s = exec::Select(r, Predicate(a));
+  EXPECT_EQ(s.NumRows(), 1);
+}
+
+TEST(NullToleranceGuardTest, SimplificationIgnoresTolerantAtoms) {
+  // SELECT above a LOJ where the only predicate touching the null side is
+  // IS NULL: the LOJ must NOT degenerate (padded rows satisfy IS NULL!).
+  NodePtr loj = Node::LeftOuterJoin(
+      Node::Leaf("r1"), Node::Leaf("r2"),
+      Predicate(MakeAtom("r1", "a", CmpOp::kEq, "r2", "a")));
+  NodePtr q = Node::Select(loj, Predicate(MakeIsNullAtom("r2", "b", false)));
+  NodePtr s = SimplifyOuterJoins(q);
+  EXPECT_EQ(s->left()->kind(), OpKind::kLeftOuterJoin);
+
+  // With IS NOT NULL the padded rows die: LOJ degenerates to inner join.
+  NodePtr q2 = Node::Select(loj, Predicate(MakeIsNullAtom("r2", "b", true)));
+  NodePtr s2 = SimplifyOuterJoins(q2);
+  EXPECT_EQ(s2->left()->kind(), OpKind::kInnerJoin);
+}
+
+TEST(NullToleranceGuardTest, SimplifiedAntiJoinPatternStaysCorrect) {
+  // The classic NOT EXISTS rewrite: LOJ + IS NULL filter. Execution must
+  // match an anti join and survive simplification untouched.
+  Catalog cat;
+  Rng rng(1);
+  RandomRelationOptions opt;
+  opt.num_rows = 20;
+  opt.domain = 6;
+  AddRandomTables(2, opt, &rng, &cat);
+  Predicate join_p(MakeAtom("r1", "a", CmpOp::kEq, "r2", "a"));
+  NodePtr loj = Node::LeftOuterJoin(Node::Leaf("r1"), Node::Leaf("r2"),
+                                    join_p);
+  NodePtr pattern = Node::Project(
+      Node::Select(loj, Predicate(MakeIsNullAtom("r2", "a", false))),
+      {Attribute{"r1", "a"}, Attribute{"r1", "b"}, Attribute{"r1", "c"}});
+  NodePtr anti =
+      Node::AntiJoin(Node::Leaf("r1"), Node::Leaf("r2"), join_p);
+  auto eq = ExecutionEquivalent(pattern, anti, cat);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  EXPECT_EQ(SimplifyOuterJoins(pattern), pattern);
+}
+
+TEST(NullToleranceGuardTest, TolerantJoinPredicateBlocksReordering) {
+  Predicate p({MakeAtom("r1", "a", CmpOp::kEq, "r2", "a"),
+               MakeIsNullAtom("r2", "b", false)});
+  NodePtr q = Node::LeftOuterJoin(Node::Leaf("r1"), Node::Leaf("r2"), p);
+  EXPECT_FALSE(BuildHypergraph(q).ok());
+}
+
+TEST(NullToleranceGuardTest, OptimizerFallsBackToAsWritten) {
+  Catalog cat;
+  Rng rng(2);
+  RandomRelationOptions opt;
+  opt.num_rows = 12;
+  opt.domain = 4;
+  opt.null_fraction = 0.3;
+  AddRandomTables(3, opt, &rng, &cat);
+  Predicate p({MakeAtom("r1", "a", CmpOp::kEq, "r2", "a"),
+               MakeIsNullAtom("r2", "b", false)});
+  NodePtr q = Node::Join(
+      Node::LeftOuterJoin(Node::Leaf("r1"), Node::Leaf("r2"), p),
+      Node::Leaf("r3"),
+      Predicate(MakeAtom("r1", "c", CmpOp::kEq, "r3", "c")));
+  QueryOptimizer opt2(cat);
+  auto result = opt2.Optimize(q);
+  ASSERT_TRUE(result.ok());
+  auto eq = ExecutionEquivalent(q, result->best.expr, cat);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(SqlNullTest, ParseBindExecute) {
+  Catalog cat;
+  GSOPT_CHECK(cat.CreateTable("t", {"x", "y"}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(1), I(5)}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(2), N()}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(3), N()}).ok());
+  auto nulls = sql::ParseAndBind("SELECT t.x FROM t WHERE t.y IS NULL", cat);
+  ASSERT_TRUE(nulls.ok()) << nulls.status().ToString();
+  auto r1 = Execute(*nulls, cat);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->NumRows(), 2);
+  auto not_nulls =
+      sql::ParseAndBind("SELECT t.x FROM t WHERE t.y IS NOT NULL", cat);
+  ASSERT_TRUE(not_nulls.ok());
+  auto r2 = Execute(*not_nulls, cat);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->NumRows(), 1);
+}
+
+TEST(SqlNullTest, NotExistsPatternViaSql) {
+  Catalog cat;
+  Rng rng(3);
+  RandomRelationOptions opt;
+  opt.num_rows = 15;
+  opt.domain = 5;
+  AddRandomTables(2, opt, &rng, &cat);
+  auto q = sql::ParseAndBind(
+      "SELECT r1.a FROM r1 LEFT JOIN r2 ON r1.a = r2.a WHERE r2.a IS NULL",
+      cat);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto rel = Execute(*q, cat);
+  ASSERT_TRUE(rel.ok());
+  NodePtr anti = Node::Project(
+      Node::AntiJoin(Node::Leaf("r1"), Node::Leaf("r2"),
+                     Predicate(MakeAtom("r1", "a", CmpOp::kEq, "r2", "a"))),
+      {Attribute{"r1", "a"}});
+  auto expect = Execute(anti, cat);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(rel->NumRows(), expect->NumRows());
+}
+
+}  // namespace
+}  // namespace gsopt

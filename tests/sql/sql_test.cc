@@ -1,0 +1,255 @@
+// SQL frontend: lexer, parser, binder, and end-to-end optimize+execute of
+// the paper's SQL-level scenarios.
+#include <gtest/gtest.h>
+
+#include "algebra/execute.h"
+#include "base/rng.h"
+#include "core/optimizer.h"
+#include "relational/datagen.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace gsopt {
+namespace {
+
+using sql::Lex;
+using sql::Parse;
+using sql::ParseAndBind;
+
+Value I(int64_t v) { return Value::Int(v); }
+
+Catalog MakeCatalog() {
+  Catalog cat;
+  Rng rng(77);
+  RandomRelationOptions opt;
+  opt.num_rows = 12;
+  opt.domain = 4;
+  opt.null_fraction = 0.1;
+  AddRandomTables(4, opt, &rng, &cat);
+  return cat;
+}
+
+TEST(LexerTest, TokenizesKeywordsIdentsAndOperators) {
+  auto toks = Lex("SELECT r1.a FROM r1 WHERE r1.a <= 3 AND r1.b <> 'x'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, sql::TokenKind::kKeyword);
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].kind, sql::TokenKind::kIdent);
+  bool saw_le = false, saw_ne = false, saw_str = false;
+  for (const auto& t : *toks) {
+    if (t.kind == sql::TokenKind::kPunct && t.text == "<=") saw_le = true;
+    if (t.kind == sql::TokenKind::kPunct && t.text == "<>") saw_ne = true;
+    if (t.kind == sql::TokenKind::kString && t.text == "x") saw_str = true;
+  }
+  EXPECT_TRUE(saw_le);
+  EXPECT_TRUE(saw_ne);
+  EXPECT_TRUE(saw_str);
+}
+
+TEST(LexerTest, NumbersIntegerAndDecimal) {
+  auto toks = Lex("12 3.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].is_integer);
+  EXPECT_FALSE((*toks)[1].is_integer);
+  EXPECT_DOUBLE_EQ((*toks)[1].number, 3.5);
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_FALSE(Lex("SELECT ;").ok());
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto q = Parse("SELECT r1.a, r1.b FROM r1 WHERE r1.a = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->where.size(), 1u);
+}
+
+TEST(ParserTest, JoinChainWithOuterJoins) {
+  auto q = Parse(
+      "SELECT * FROM r1 LEFT OUTER JOIN r2 ON r1.a = r2.a "
+      "FULL JOIN r3 ON r2.b = r3.b AND r1.c = r3.c");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->from.size(), 1u);
+  EXPECT_EQ(q->from[0]->kind, sql::SqlTableRef::Kind::kJoin);
+  EXPECT_EQ(q->from[0]->join_kind, sql::SqlTableRef::JoinKind::kFull);
+  EXPECT_EQ(q->from[0]->on.size(), 2u);
+}
+
+TEST(ParserTest, GroupByHavingAggregates) {
+  auto q = Parse(
+      "SELECT r1.a, COUNT(r1.b) AS c, SUM(r1.c) AS s FROM r1 "
+      "GROUP BY r1.a HAVING COUNT(r1.b) > 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->having.size(), 1u);
+}
+
+TEST(ParserTest, SubqueryWithAlias) {
+  auto q = Parse(
+      "SELECT v.c FROM (SELECT r1.a, COUNT(r1.b) AS c FROM r1 "
+      "GROUP BY r1.a) AS v");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->from[0]->kind, sql::SqlTableRef::Kind::kSubquery);
+  EXPECT_EQ(q->from[0]->alias, "v");
+}
+
+TEST(ParserTest, ErrorsOnMalformedInput) {
+  EXPECT_FALSE(Parse("FROM r1").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM r1 WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM r1 extra").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM (SELECT b FROM r2)").ok());  // no alias
+}
+
+TEST(BinderTest, SimpleScanFilterProject) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind("SELECT r1.a, r1.b FROM r1 WHERE r1.a >= 1", cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema().size(), 2);
+  for (const Tuple& t : rel->rows()) {
+    EXPECT_FALSE(t.values[0].is_null());
+    EXPECT_GE(t.values[0].AsInt(), 1);
+  }
+}
+
+TEST(BinderTest, UnqualifiedColumnsResolveWhenUnique) {
+  Catalog cat;
+  GSOPT_CHECK(cat.CreateTable("t", {"x", "y"}).ok());
+  GSOPT_CHECK(cat.Insert("t", {I(1), I(2)}).ok());
+  auto tree = ParseAndBind("SELECT x FROM t WHERE y = 2", cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumRows(), 1);
+}
+
+TEST(BinderTest, AmbiguousAndUnknownColumnsRejected) {
+  Catalog cat = MakeCatalog();
+  EXPECT_FALSE(
+      ParseAndBind("SELECT a FROM r1 JOIN r2 ON r1.a = r2.a", cat).ok());
+  EXPECT_FALSE(ParseAndBind("SELECT r1.zzz FROM r1", cat).ok());
+  EXPECT_FALSE(ParseAndBind("SELECT r1.a FROM nosuch", cat).ok());
+}
+
+TEST(BinderTest, CommaJoinDistributesWherePredicates) {
+  Catalog cat = MakeCatalog();
+  auto t1 = ParseAndBind(
+      "SELECT r1.a, r2.b FROM r1, r2 WHERE r1.a = r2.a AND r1.b >= 1", cat);
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  auto t2 = ParseAndBind(
+      "SELECT r1.a, r2.b FROM r1 JOIN r2 ON r1.a = r2.a WHERE r1.b >= 1",
+      cat);
+  ASSERT_TRUE(t2.ok());
+  auto r1 = Execute(*t1, cat);
+  auto r2 = Execute(*t2, cat);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(Relation::BagEquals(*r1, *r2));
+}
+
+TEST(BinderTest, GroupByCountMatchesManualAlgebra) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind(
+      "SELECT r1.a, COUNT(r1.b) AS c FROM r1 GROUP BY r1.a", cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok());
+
+  exec::GroupBySpec spec;
+  spec.group_cols = {Attribute{"r1", "a"}};
+  exec::AggSpec cnt;
+  cnt.func = exec::AggFunc::kCount;
+  cnt.input = Scalar::Column("r1", "b");
+  cnt.out_rel = "q";
+  cnt.out_name = "c";
+  spec.aggs = {cnt};
+  auto manual = Execute(Node::GroupBy(Node::Leaf("r1"), spec), cat);
+  ASSERT_TRUE(manual.ok());
+  EXPECT_EQ(rel->NumRows(), manual->NumRows());
+}
+
+TEST(BinderTest, HavingFiltersGroups) {
+  Catalog cat;
+  GSOPT_CHECK(cat.CreateTable("t", {"k", "v"}).ok());
+  for (int i = 0; i < 5; ++i) {
+    GSOPT_CHECK(cat.Insert("t", {I(i < 3 ? 1 : 2), I(i)}).ok());
+  }
+  auto tree = ParseAndBind(
+      "SELECT t.k, COUNT(t.v) AS c FROM t GROUP BY t.k HAVING "
+      "COUNT(t.v) >= 3",
+      cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->NumRows(), 1);
+  EXPECT_EQ(rel->row(0).values[0].AsInt(), 1);
+  EXPECT_EQ(rel->row(0).values[1].AsInt(), 3);
+}
+
+TEST(BinderTest, ViewMergesAndOuterPredicateOnAggregate) {
+  // The Example 1.1 pattern written in SQL: an aggregation view on the
+  // null-supplying side of a LOJ with an ON predicate over the COUNT.
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind(
+      "SELECT r1.a, r1.b FROM r1 LEFT JOIN "
+      "(SELECT r2.a, COUNT(r2.b) AS cnt FROM r2 GROUP BY r2.a) AS v "
+      "ON r1.a = v.a AND r1.b < 2 * v.cnt",
+      cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto ref = Execute(*tree, cat);
+  ASSERT_TRUE(ref.ok());
+
+  // And it must be optimizable with all plans equivalent.
+  QueryOptimizer opt(cat);
+  OptimizeOptions oo;
+  oo.prune = false;
+  auto plans = opt.EnumerateFullPlans(*tree, oo);
+  ASSERT_TRUE(plans.ok()) << plans.status().ToString();
+  EXPECT_GE(plans->size(), 1u);
+  for (const PlanInfo& p : *plans) {
+    auto got = Execute(p.expr, cat);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(Relation::BagEquals(*ref, *got)) << p.expr->ToString();
+  }
+}
+
+TEST(BinderTest, FullSqlQueryOptimizesEquivalently) {
+  Catalog cat = MakeCatalog();
+  const char* kSql =
+      "SELECT r1.a, r2.b, r3.c FROM "
+      "r1 LEFT JOIN r2 ON r1.a = r2.a "
+      "LEFT JOIN r3 ON r2.b = r3.b AND r1.c = r3.c "
+      "JOIN r4 ON r4.a = r1.a";
+  auto tree = ParseAndBind(kSql, cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto ref = Execute(*tree, cat);
+  ASSERT_TRUE(ref.ok());
+  QueryOptimizer opt(cat);
+  OptimizeOptions oo;
+  oo.prune = false;
+  auto plans = opt.EnumerateFullPlans(*tree, oo);
+  ASSERT_TRUE(plans.ok()) << plans.status().ToString();
+  EXPECT_GT(plans->size(), 3u);
+  for (const PlanInfo& p : *plans) {
+    auto got = Execute(p.expr, cat);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(Relation::BagEquals(*ref, *got)) << p.expr->ToString();
+  }
+}
+
+TEST(BinderTest, StarSelect) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind("SELECT * FROM r1 JOIN r2 ON r1.a = r2.a", cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->schema().size(), 6);
+}
+
+}  // namespace
+}  // namespace gsopt
