@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agg_pullup.dir/bench_agg_pullup.cc.o"
+  "CMakeFiles/bench_agg_pullup.dir/bench_agg_pullup.cc.o.d"
+  "bench_agg_pullup"
+  "bench_agg_pullup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agg_pullup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example11_supplier.dir/bench_example11_supplier.cc.o"
+  "CMakeFiles/bench_example11_supplier.dir/bench_example11_supplier.cc.o.d"
+  "bench_example11_supplier"
+  "bench_example11_supplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example11_supplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

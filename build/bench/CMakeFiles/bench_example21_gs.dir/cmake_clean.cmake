@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example21_gs.dir/bench_example21_gs.cc.o"
+  "CMakeFiles/bench_example21_gs.dir/bench_example21_gs.cc.o.d"
+  "bench_example21_gs"
+  "bench_example21_gs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example21_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

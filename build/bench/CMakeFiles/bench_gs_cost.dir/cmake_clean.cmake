@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gs_cost.dir/bench_gs_cost.cc.o"
+  "CMakeFiles/bench_gs_cost.dir/bench_gs_cost.cc.o.d"
+  "bench_gs_cost"
+  "bench_gs_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gs_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

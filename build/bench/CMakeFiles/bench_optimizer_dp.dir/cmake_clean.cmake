@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_dp.dir/bench_optimizer_dp.cc.o"
+  "CMakeFiles/bench_optimizer_dp.dir/bench_optimizer_dp.cc.o.d"
+  "bench_optimizer_dp"
+  "bench_optimizer_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

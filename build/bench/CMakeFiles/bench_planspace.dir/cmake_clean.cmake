@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planspace.dir/bench_planspace.cc.o"
+  "CMakeFiles/bench_planspace.dir/bench_planspace.cc.o.d"
+  "bench_planspace"
+  "bench_planspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query23_unnest.dir/bench_query23_unnest.cc.o"
+  "CMakeFiles/bench_query23_unnest.dir/bench_query23_unnest.cc.o.d"
+  "bench_query23_unnest"
+  "bench_query23_unnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query23_unnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

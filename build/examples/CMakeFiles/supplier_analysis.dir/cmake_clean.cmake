@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplier_analysis.dir/supplier_analysis.cc.o"
+  "CMakeFiles/supplier_analysis.dir/supplier_analysis.cc.o.d"
+  "supplier_analysis"
+  "supplier_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplier_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unnesting.dir/unnesting.cc.o"
+  "CMakeFiles/unnesting.dir/unnesting.cc.o.d"
+  "unnesting"
+  "unnesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unnesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

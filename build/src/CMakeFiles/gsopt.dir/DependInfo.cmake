@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/execute.cc" "src/CMakeFiles/gsopt.dir/algebra/execute.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/algebra/execute.cc.o.d"
+  "/root/repo/src/algebra/explain.cc" "src/CMakeFiles/gsopt.dir/algebra/explain.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/algebra/explain.cc.o.d"
+  "/root/repo/src/algebra/node.cc" "src/CMakeFiles/gsopt.dir/algebra/node.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/algebra/node.cc.o.d"
+  "/root/repo/src/algebra/normalize.cc" "src/CMakeFiles/gsopt.dir/algebra/normalize.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/algebra/normalize.cc.o.d"
+  "/root/repo/src/algebra/schema_infer.cc" "src/CMakeFiles/gsopt.dir/algebra/schema_infer.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/algebra/schema_infer.cc.o.d"
+  "/root/repo/src/algebra/simplify.cc" "src/CMakeFiles/gsopt.dir/algebra/simplify.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/algebra/simplify.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/gsopt.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/enumerate/enumerator.cc" "src/CMakeFiles/gsopt.dir/enumerate/enumerator.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/enumerate/enumerator.cc.o.d"
+  "/root/repo/src/enumerate/random_query.cc" "src/CMakeFiles/gsopt.dir/enumerate/random_query.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/enumerate/random_query.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/gsopt.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/gsopt.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/exec/eval.cc.o.d"
+  "/root/repo/src/hypergraph/analysis.cc" "src/CMakeFiles/gsopt.dir/hypergraph/analysis.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/hypergraph/analysis.cc.o.d"
+  "/root/repo/src/hypergraph/build.cc" "src/CMakeFiles/gsopt.dir/hypergraph/build.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/hypergraph/build.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/CMakeFiles/gsopt.dir/hypergraph/hypergraph.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/hypergraph/hypergraph.cc.o.d"
+  "/root/repo/src/hypergraph/querygraph.cc" "src/CMakeFiles/gsopt.dir/hypergraph/querygraph.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/hypergraph/querygraph.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/gsopt.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/gsopt.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/optimizer/stats.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/CMakeFiles/gsopt.dir/relational/catalog.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/gsopt.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/datagen.cc" "src/CMakeFiles/gsopt.dir/relational/datagen.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/datagen.cc.o.d"
+  "/root/repo/src/relational/expr.cc" "src/CMakeFiles/gsopt.dir/relational/expr.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/expr.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/gsopt.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/gsopt.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/gsopt.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/relational/value.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/gsopt.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/gsopt.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/gsopt.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/sql/parser.cc.o.d"
+  "/root/repo/src/unnest/tis.cc" "src/CMakeFiles/gsopt.dir/unnest/tis.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/unnest/tis.cc.o.d"
+  "/root/repo/src/unnest/unnest.cc" "src/CMakeFiles/gsopt.dir/unnest/unnest.cc.o" "gcc" "src/CMakeFiles/gsopt.dir/unnest/unnest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_pullup_test.dir/algebra/agg_pullup_test.cc.o"
+  "CMakeFiles/agg_pullup_test.dir/algebra/agg_pullup_test.cc.o.d"
+  "agg_pullup_test"
+  "agg_pullup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_pullup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

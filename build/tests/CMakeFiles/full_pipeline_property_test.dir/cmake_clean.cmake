@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_pipeline_property_test.dir/core/full_pipeline_property_test.cc.o"
+  "CMakeFiles/full_pipeline_property_test.dir/core/full_pipeline_property_test.cc.o.d"
+  "full_pipeline_property_test"
+  "full_pipeline_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_pipeline_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_test.dir/exec/gs_test.cc.o"
+  "CMakeFiles/gs_test.dir/exec/gs_test.cc.o.d"
+  "gs_test"
+  "gs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identities_test.dir/algebra/identities_test.cc.o"
+  "CMakeFiles/identities_test.dir/algebra/identities_test.cc.o.d"
+  "identities_test"
+  "identities_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

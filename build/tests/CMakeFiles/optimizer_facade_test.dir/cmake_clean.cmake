@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_facade_test.dir/core/optimizer_facade_test.cc.o"
+  "CMakeFiles/optimizer_facade_test.dir/core/optimizer_facade_test.cc.o.d"
+  "optimizer_facade_test"
+  "optimizer_facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

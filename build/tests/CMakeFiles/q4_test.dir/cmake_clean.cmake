@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q4_test.dir/enumerate/q4_test.cc.o"
+  "CMakeFiles/q4_test.dir/enumerate/q4_test.cc.o.d"
+  "q4_test"
+  "q4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

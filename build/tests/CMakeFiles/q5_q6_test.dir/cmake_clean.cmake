@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q5_q6_test.dir/enumerate/q5_q6_test.cc.o"
+  "CMakeFiles/q5_q6_test.dir/enumerate/q5_q6_test.cc.o.d"
+  "q5_q6_test"
+  "q5_q6_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q5_q6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

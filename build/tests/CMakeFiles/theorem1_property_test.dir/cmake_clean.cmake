@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_property_test.dir/enumerate/theorem1_property_test.cc.o"
+  "CMakeFiles/theorem1_property_test.dir/enumerate/theorem1_property_test.cc.o.d"
+  "theorem1_property_test"
+  "theorem1_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unnest_test.dir/unnest/unnest_test.cc.o"
+  "CMakeFiles/unnest_test.dir/unnest/unnest_test.cc.o.d"
+  "unnest_test"
+  "unnest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unnest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
