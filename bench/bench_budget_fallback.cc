@@ -1,0 +1,112 @@
+// Resource governance overhead and fallback-ladder latency.
+//
+// Two questions a production deployment asks of a cooperative budget:
+//  (1) What does carrying an (unexpired) budget cost on the happy path?
+//      BM_Optimize vs BM_OptimizeGoverned on the same query.
+//  (2) When a hostile query blows the deadline, how quickly does the
+//      ladder land on a plan? BM_FallbackLadder measures the full descent
+//      generalized -> ... -> syntactic on an exhaustive n-relation chain
+//      with a deadline far below what the search needs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "base/budget.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "core/optimizer.h"
+#include "relational/datagen.h"
+
+namespace gsopt {
+namespace {
+
+Catalog MakeCatalog(int n) {
+  Catalog cat;
+  Rng rng(314);
+  RandomRelationOptions opt;
+  opt.num_rows = 10;
+  opt.domain = 6;
+  opt.null_fraction = 0.1;
+  AddRandomTables(n, opt, &rng, &cat);
+  return cat;
+}
+
+NodePtr ChainQuery(int n) {
+  NodePtr q = Node::Leaf("r1");
+  for (int i = 2; i <= n; ++i) {
+    std::string prev = "r" + std::to_string(i - 1);
+    std::string cur = "r" + std::to_string(i);
+    q = Node::Join(q, Node::Leaf(cur),
+                   Predicate(MakeAtom(prev, "a", CmpOp::kEq, cur, "a")));
+  }
+  return q;
+}
+
+void BM_Optimize(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Catalog cat = MakeCatalog(n);
+  NodePtr q = ChainQuery(n);
+  QueryOptimizer opt(cat);
+  for (auto _ : state) {
+    auto result = opt.Optimize(q);
+    GSOPT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->best.cost);
+  }
+}
+
+void BM_OptimizeGoverned(benchmark::State& state) {
+  // Same query, same pruned search, plus an hour-long deadline that never
+  // fires: isolates the probe overhead of governance.
+  int n = static_cast<int>(state.range(0));
+  Catalog cat = MakeCatalog(n);
+  NodePtr q = ChainQuery(n);
+  QueryOptimizer opt(cat);
+  for (auto _ : state) {
+    ResourceBudget budget;
+    budget.WithDeadlineAfter(std::chrono::hours(1));
+    OptimizeOptions oo;
+    oo.budget = &budget;
+    auto result = opt.Optimize(q, oo);
+    GSOPT_CHECK(result.ok());
+    GSOPT_CHECK(!result->degradation.degraded());
+    benchmark::DoNotOptimize(result->best.cost);
+  }
+}
+
+void BM_FallbackLadder(benchmark::State& state) {
+  // Exhaustive enumeration with a 5 ms deadline: far too little for the
+  // unpruned chain, so every iteration rides the ladder down to a cheaper
+  // rung. The measured time is the worst-case answer latency under
+  // pressure (deadline + descent overhead), not the search itself.
+  int n = static_cast<int>(state.range(0));
+  Catalog cat = MakeCatalog(n);
+  NodePtr q = ChainQuery(n);
+  QueryOptimizer opt(cat);
+  int degraded = 0;
+  for (auto _ : state) {
+    ResourceBudget budget;
+    budget.WithDeadlineAfter(std::chrono::milliseconds(5));
+    OptimizeOptions oo;
+    oo.prune = false;
+    oo.budget = &budget;
+    auto result = opt.Optimize(q, oo);
+    GSOPT_CHECK(result.ok());
+    degraded += result->degradation.degraded() ? 1 : 0;
+    benchmark::DoNotOptimize(result->best.cost);
+  }
+  state.counters["degraded"] = degraded;
+}
+
+BENCHMARK(BM_Optimize)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptimizeGoverned)
+    ->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FallbackLadder)
+    ->DenseRange(10, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gsopt
+
+BENCHMARK_MAIN();

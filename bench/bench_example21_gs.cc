@@ -41,8 +41,8 @@ void BM_T1AsWritten(benchmark::State& state) {
   Inputs in(static_cast<int>(state.range(0)));
   int rows = 0;
   for (auto _ : state) {
-    Relation t1 = exec::LeftOuterJoin(
-        exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p13_and_p23);
+    Relation t1 = *exec::LeftOuterJoin(
+        *exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p13_and_p23);
     rows = t1.NumRows();
     benchmark::DoNotOptimize(rows);
   }
@@ -55,9 +55,9 @@ void BM_T2PlusCompensation(benchmark::State& state) {
   std::vector<exec::PreservedGroup> groups{exec::PreservedGroup{"r1", "r2"}};
   int rows = 0;
   for (auto _ : state) {
-    Relation t2 = exec::LeftOuterJoin(
-        exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p23);
-    Relation fixed = exec::GeneralizedSelection(t2, in.p13, groups);
+    Relation t2 = *exec::LeftOuterJoin(
+        *exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p23);
+    Relation fixed = *exec::GeneralizedSelection(t2, in.p13, groups);
     rows = fixed.NumRows();
     benchmark::DoNotOptimize(rows);
   }
@@ -70,11 +70,11 @@ void BM_CompensationMatchesT1(benchmark::State& state) {
   std::vector<exec::PreservedGroup> groups{exec::PreservedGroup{"r1", "r2"}};
   bool equal = false;
   for (auto _ : state) {
-    Relation t1 = exec::LeftOuterJoin(
-        exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p13_and_p23);
-    Relation t2 = exec::LeftOuterJoin(
-        exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p23);
-    Relation fixed = exec::GeneralizedSelection(t2, in.p13, groups);
+    Relation t1 = *exec::LeftOuterJoin(
+        *exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p13_and_p23);
+    Relation t2 = *exec::LeftOuterJoin(
+        *exec::LeftOuterJoin(in.r1, in.r2, in.p12), in.r3, in.p23);
+    Relation fixed = *exec::GeneralizedSelection(t2, in.p13, groups);
     equal = Relation::BagEquals(t1, fixed);
     GSOPT_CHECK_MSG(equal, "E1 compensation must reproduce T1");
     benchmark::DoNotOptimize(equal);

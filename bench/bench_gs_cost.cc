@@ -56,7 +56,7 @@ void BM_Mgoj(benchmark::State& state) {
 
 void BM_GeneralizedSelection(benchmark::State& state) {
   Inputs in(static_cast<int>(state.range(0)));
-  Relation joined = exec::LeftOuterJoin(in.a, in.b, in.eq);
+  Relation joined = *exec::LeftOuterJoin(in.a, in.b, in.eq);
   std::vector<exec::PreservedGroup> groups{exec::PreservedGroup{"a"}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -67,7 +67,7 @@ void BM_GeneralizedSelection(benchmark::State& state) {
 
 void BM_GsTwoGroups(benchmark::State& state) {
   Inputs in(static_cast<int>(state.range(0)));
-  Relation joined = exec::FullOuterJoin(in.a, in.b, in.eq);
+  Relation joined = *exec::FullOuterJoin(in.a, in.b, in.eq);
   std::vector<exec::PreservedGroup> groups{exec::PreservedGroup{"a"},
                                            exec::PreservedGroup{"b"}};
   for (auto _ : state) {
@@ -79,7 +79,7 @@ void BM_GsTwoGroups(benchmark::State& state) {
 
 void BM_PlainSelect(benchmark::State& state) {
   Inputs in(static_cast<int>(state.range(0)));
-  Relation joined = exec::LeftOuterJoin(in.a, in.b, in.eq);
+  Relation joined = *exec::LeftOuterJoin(in.a, in.b, in.eq);
   for (auto _ : state) {
     benchmark::DoNotOptimize(exec::Select(joined, in.extra));
   }

@@ -70,12 +70,29 @@ int main() {
     opts.mode = mode;
     Enumerator en(*hg, opts);
     auto trees = en.CountAssociationTrees();
-    auto plans = en.EnumerateAll();
-    std::printf("%-12s association trees: %-6lld plans: %zu\n",
+    auto result = en.Enumerate();
+    std::printf("%-12s association trees: %-6lld plans: %zu (%zu subplans%s)\n",
                 EnumModeName(mode).c_str(), trees.ok() ? *trees : -1,
-                plans.ok() ? plans->size() : 0);
+                result.ok() ? result->plans.size() : 0,
+                result.ok() ? result->subplans_emitted : 0,
+                result.ok() && result->truncated ? ", truncated" : "");
   }
   std::printf("\n");
+
+  // The same enumeration under a tight plan budget: the space truncates
+  // gracefully (valid plans, possibly suboptimal) instead of failing.
+  {
+    ResourceBudget tight;
+    tight.WithMaxPlans(10);
+    EnumOptions opts;
+    opts.mode = EnumMode::kGeneralized;
+    opts.budget = &tight;
+    auto capped = Enumerator(*hg, opts).Enumerate();
+    if (capped.ok()) {
+      std::printf("with a 10-subplan budget: %zu plans, truncated: %s\n\n",
+                  capped->plans.size(), capped->truncated ? "yes" : "no");
+    }
+  }
 
   // Show the paper's break-up family: plans whose root is a generalized
   // selection deferring one of the h2 conjuncts.

@@ -4,18 +4,24 @@
 //   gsopt> SELECT * FROM data1 LEFT JOIN data2 ON data1.k = data2.k
 //   gsopt> \explain SELECT ...
 //   gsopt> \plans  SELECT ...        (enumerate the full plan space)
+//   gsopt> \timeout 250              (per-query budget in ms; 0 = off)
 //   gsopt> \tables
 //   gsopt> \q
 //
 // Each CSV becomes a table named after its basename (without extension).
 // Every query is optimized (simplify -> normalize -> hypergraph ->
-// enumerate -> cost) before execution.
+// enumerate -> cost) before execution, under a per-query resource budget:
+// when the deadline trips mid-search the optimizer degrades down its
+// fallback ladder and the shell reports which rung answered.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "algebra/execute.h"
 #include "algebra/explain.h"
+#include "base/budget.h"
 #include "core/optimizer.h"
 #include "relational/csv.h"
 #include "sql/binder.h"
@@ -23,6 +29,10 @@
 using namespace gsopt;  // NOLINT: example brevity
 
 namespace {
+
+// Per-query wall-clock budget; generous default so only hostile queries
+// degrade. 0 disables governance entirely.
+long long g_timeout_ms = 10000;
 
 std::string BaseName(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -40,25 +50,37 @@ void RunQuery(const std::string& text, const Catalog& cat, bool explain,
     std::printf("error: %s\n", tree.status().ToString().c_str());
     return;
   }
+  ResourceBudget budget;
+  if (g_timeout_ms > 0) {
+    budget.WithDeadlineAfter(std::chrono::milliseconds(g_timeout_ms));
+  }
   QueryOptimizer opt(cat);
   if (show_plans) {
     OptimizeOptions oo;
     oo.prune = false;
-    auto plans = opt.EnumerateFullPlans(*tree, oo);
-    if (!plans.ok()) {
-      std::printf("error: %s\n", plans.status().ToString().c_str());
+    if (g_timeout_ms > 0) oo.budget = &budget;
+    auto space = opt.EnumeratePlanSpace(*tree, oo);
+    if (!space.ok()) {
+      std::printf("error: %s\n", space.status().ToString().c_str());
       return;
     }
-    std::printf("%zu plans:\n", plans->size());
-    for (const PlanInfo& p : *plans) {
+    std::printf("%zu plans%s:\n", space->plans.size(),
+                space->truncated ? " (space truncated by budget)" : "");
+    for (const PlanInfo& p : space->plans) {
       std::printf("  cost=%-12.0f %s\n", p.cost, p.expr->ToString().c_str());
     }
     return;
   }
-  auto result = opt.Optimize(*tree);
+  OptimizeOptions oo;
+  if (g_timeout_ms > 0) oo.budget = &budget;
+  auto result = opt.Optimize(*tree, oo);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
+  }
+  if (result->degradation.degraded()) {
+    std::printf("warning: degraded under budget (%s)\n",
+                result->degradation.ToString().c_str());
   }
   if (explain) {
     std::printf("%zu plans considered; chosen (cost %.0f, as-written %.0f):\n",
@@ -67,7 +89,16 @@ void RunQuery(const std::string& text, const Catalog& cat, bool explain,
     std::printf("%s", Explain(result->best.expr, opt.cost_model()).c_str());
     return;
   }
-  auto rel = Execute(result->best.expr, cat);
+  // Execution gets its own allowance: a budget-starved optimization has
+  // already spent the deadline degrading, and the point of the fallback
+  // ladder is that the rung it landed on still answers.
+  ResourceBudget exec_budget;
+  ExecuteOptions xo;
+  if (g_timeout_ms > 0) {
+    exec_budget.WithDeadlineAfter(std::chrono::milliseconds(g_timeout_ms));
+    xo.budget = &exec_budget;
+  }
+  auto rel = Execute(result->best.expr, cat, xo);
   if (!rel.ok()) {
     std::printf("error: %s\n", rel.status().ToString().c_str());
     return;
@@ -105,6 +136,13 @@ int main(int argc, char** argv) {
         const Relation* r = cat.Find(t);
         std::printf("  %s %s (%d rows)\n", t.c_str(),
                     r->schema().ToString().c_str(), r->NumRows());
+      }
+    } else if (line.rfind("\\timeout ", 0) == 0) {
+      g_timeout_ms = std::atoll(line.substr(9).c_str());
+      if (g_timeout_ms > 0) {
+        std::printf("per-query budget: %lld ms\n", g_timeout_ms);
+      } else {
+        std::printf("per-query budget disabled\n");
       }
     } else if (line.rfind("\\explain ", 0) == 0) {
       RunQuery(line.substr(9), cat, /*explain=*/true, /*show_plans=*/false);

@@ -5,55 +5,61 @@
 
 namespace gsopt {
 
-StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog) {
+StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
+                           const ExecuteOptions& options) {
   if (node == nullptr) return Status::InvalidArgument("null plan node");
+  exec::ExecContext ctx{options.budget};
+  if (options.budget != nullptr) {
+    GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("execute"));
+  }
   switch (node->kind()) {
     case OpKind::kLeaf:
       return catalog.Get(node->table());
     case OpKind::kSelect: {
       GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog));
-      return exec::Select(child, node->pred());
+                             Execute(node->left(), catalog, options));
+      return exec::Select(child, node->pred(), ctx);
     }
     case OpKind::kProject: {
       GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog));
+                             Execute(node->left(), catalog, options));
       if (node->projection_out() != node->projection()) {
         return exec::ProjectAs(child, node->projection(),
-                               node->projection_out());
+                               node->projection_out(), ctx);
       }
-      return exec::Project(child, node->projection());
+      return exec::Project(child, node->projection(), ctx);
     }
     case OpKind::kGeneralizedSelection: {
       GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog));
-      return exec::GeneralizedSelection(child, node->pred(), node->groups());
+                             Execute(node->left(), catalog, options));
+      return exec::GeneralizedSelection(child, node->pred(), node->groups(),
+                                        ctx);
     }
     case OpKind::kGroupBy: {
       GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog));
-      return exec::GeneralizedProjection(child, node->groupby());
+                             Execute(node->left(), catalog, options));
+      return exec::GeneralizedProjection(child, node->groupby(), ctx);
     }
     default:
       break;
   }
-  GSOPT_ASSIGN_OR_RETURN(Relation l, Execute(node->left(), catalog));
-  GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(node->right(), catalog));
+  GSOPT_ASSIGN_OR_RETURN(Relation l, Execute(node->left(), catalog, options));
+  GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(node->right(), catalog, options));
   switch (node->kind()) {
     case OpKind::kInnerJoin:
-      return exec::InnerJoin(l, r, node->pred());
+      return exec::InnerJoin(l, r, node->pred(), ctx);
     case OpKind::kLeftOuterJoin:
-      return exec::LeftOuterJoin(l, r, node->pred());
+      return exec::LeftOuterJoin(l, r, node->pred(), ctx);
     case OpKind::kRightOuterJoin:
-      return exec::RightOuterJoin(l, r, node->pred());
+      return exec::RightOuterJoin(l, r, node->pred(), ctx);
     case OpKind::kFullOuterJoin:
-      return exec::FullOuterJoin(l, r, node->pred());
+      return exec::FullOuterJoin(l, r, node->pred(), ctx);
     case OpKind::kAntiJoin:
-      return exec::AntiJoin(l, r, node->pred());
+      return exec::AntiJoin(l, r, node->pred(), ctx);
     case OpKind::kSemiJoin:
-      return exec::SemiJoin(l, r, node->pred());
+      return exec::SemiJoin(l, r, node->pred(), ctx);
     case OpKind::kMgoj:
-      return exec::Mgoj(l, r, node->pred(), node->groups());
+      return exec::Mgoj(l, r, node->pred(), node->groups(), ctx);
     default:
       return Status::Internal("unhandled operator " +
                               OpKindName(node->kind()));

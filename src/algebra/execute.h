@@ -1,16 +1,28 @@
 // Interpreter: evaluates a logical expression tree against a catalog by
 // invoking the executor kernels. This is the ground-truth semantics used by
 // every equivalence property test and by the benchmark harnesses.
+//
+// Execution is governable: pass ExecuteOptions with a ResourceBudget and
+// every row-producing operator checks it cooperatively, returning
+// Status(kResourceExhausted) instead of materializing unbounded
+// intermediate results or overrunning a deadline.
 #ifndef GSOPT_ALGEBRA_EXECUTE_H_
 #define GSOPT_ALGEBRA_EXECUTE_H_
 
 #include "algebra/node.h"
+#include "base/budget.h"
 #include "base/status.h"
 #include "relational/catalog.h"
 
 namespace gsopt {
 
-StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog);
+struct ExecuteOptions {
+  // Optional cooperative budget (deadline / row cap); not owned.
+  ResourceBudget* budget = nullptr;
+};
+
+StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
+                           const ExecuteOptions& options = {});
 
 // Executes both expressions and compares visible extensions (bag equality
 // over qualified attribute names).

@@ -225,6 +225,7 @@ bool CrossGs(Wrapper* w, OpKind op, SideRole role, const QualSet& p_side_refs,
 struct NormalizeContext {
   const Catalog& catalog;
   int next_aux = 0;
+  ResourceBudget* budget = nullptr;  // optional, not owned
 };
 
 StatusOr<Side> Normalize(const NodePtr& node, NormalizeContext* ctx);
@@ -350,6 +351,9 @@ StatusOr<Side> CrossSide(Side side, OpKind op, bool is_left, Predicate* pred,
 }
 
 StatusOr<Side> Normalize(const NodePtr& node, NormalizeContext* ctx) {
+  if (ctx->budget != nullptr) {
+    GSOPT_RETURN_IF_ERROR(ctx->budget->CheckDeadline("normalize"));
+  }
   Side out;
   switch (node->kind()) {
     case OpKind::kLeaf:
@@ -488,9 +492,10 @@ std::string Wrapper::ToString() const {
 }
 
 StatusOr<NormalizedQuery> NormalizeForReordering(const NodePtr& query,
-                                                 const Catalog& catalog) {
+                                                 const Catalog& catalog,
+                                                 ResourceBudget* budget) {
   if (query == nullptr) return Status::InvalidArgument("null query");
-  NormalizeContext ctx{catalog, 0};
+  NormalizeContext ctx{catalog, 0, budget};
   ++aux_counter_hint;
   GSOPT_ASSIGN_OR_RETURN(Side side, Normalize(query, &ctx));
   NormalizedQuery nq;

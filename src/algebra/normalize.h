@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "algebra/node.h"
+#include "base/budget.h"
 #include "base/status.h"
 #include "relational/catalog.h"
 
@@ -51,9 +52,12 @@ struct NormalizedQuery {
 };
 
 // Normalizes `query`. Always succeeds structurally: parts that cannot be
-// normalized remain embedded in join_tree as opaque subexpressions.
-StatusOr<NormalizedQuery> NormalizeForReordering(const NodePtr& query,
-                                                 const Catalog& catalog);
+// normalized remain embedded in join_tree as opaque subexpressions. An
+// optional budget (not owned) is probed per visited node; an expired
+// deadline returns Status(kResourceExhausted).
+StatusOr<NormalizedQuery> NormalizeForReordering(
+    const NodePtr& query, const Catalog& catalog,
+    ResourceBudget* budget = nullptr);
 
 // Re-applies the wrappers (and drops auxiliary columns) above `tree`.
 StatusOr<NodePtr> ApplyWrappers(const NormalizedQuery& nq, NodePtr tree,

@@ -1,0 +1,155 @@
+// ResourceBudget: a cooperative resource governor threaded through every
+// pipeline stage (normalize -> enumerate -> cost -> execute).
+//
+// The generalized enumeration (Definition 3.2 association trees + GS
+// compensation) deliberately explores a much larger plan space than the
+// [BHAR95a]/[GALI92a] baselines, so a production deployment must survive
+// pathological queries without aborting or stalling. A budget carries up to
+// three limits:
+//
+//   * a wall-clock deadline (steady_clock), checked cooperatively at loop
+//     granularity with a strided clock probe so the hot paths pay one
+//     counter increment per check and one clock read per kClockStride;
+//   * a plan cap: total subplans the enumerator may emit before it stops
+//     exploring alternatives and reports the space as truncated;
+//   * a row cap: total tuples the executor kernels may materialize.
+//
+// Stages never kill each other preemptively: each checks the budget at its
+// own safe points and returns Status(kResourceExhausted), which unwinds
+// cleanly through StatusOr. The QueryOptimizer facade reacts by walking a
+// fallback ladder (generalized -> baseline -> binary-only -> the syntactic
+// as-written plan) with whatever budget remains, so callers always get a
+// valid plan plus a DegradationReport instead of a crash or an unbounded
+// run.
+//
+// A budget is single-threaded mutable state, shared by pointer across the
+// stages of one optimize-and-execute attempt. The deadline is absolute, so
+// it naturally carries across fallback rungs; plan and row counters can be
+// reset per rung with ResetPlans()/ResetRows().
+#ifndef GSOPT_BASE_BUDGET_H_
+#define GSOPT_BASE_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "base/status.h"
+
+namespace gsopt {
+
+class ResourceBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+  // Clock reads are amortized: one real read per kClockStride deadline
+  // checks (power of two; the hot-loop check is a mask and compare).
+  static constexpr uint64_t kClockStride = 1024;
+
+  ResourceBudget() = default;
+
+  static ResourceBudget Unlimited() { return ResourceBudget(); }
+
+  ResourceBudget& WithDeadlineAfter(std::chrono::microseconds d) {
+    deadline_ = Clock::now() + d;
+    has_deadline_ = true;
+    expired_ = false;
+    return *this;
+  }
+  ResourceBudget& WithDeadline(Clock::time_point tp) {
+    deadline_ = tp;
+    has_deadline_ = true;
+    expired_ = false;
+    return *this;
+  }
+  ResourceBudget& WithMaxPlans(uint64_t n) {
+    max_plans_ = n;
+    return *this;
+  }
+  ResourceBudget& WithMaxRows(uint64_t n) {
+    max_rows_ = n;
+    return *this;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  uint64_t max_plans() const { return max_plans_; }
+  uint64_t max_rows() const { return max_rows_; }
+  uint64_t rows_charged() const { return rows_; }
+  uint64_t plans_charged() const { return plans_; }
+
+  // Time until the deadline; zero when expired, kUnlimited-ish large when
+  // no deadline is set.
+  std::chrono::microseconds RemainingTime() const {
+    if (!has_deadline_) return std::chrono::microseconds::max();
+    auto now = Clock::now();
+    if (now >= deadline_) return std::chrono::microseconds(0);
+    return std::chrono::duration_cast<std::chrono::microseconds>(deadline_ -
+                                                                 now);
+  }
+
+  // Hot-loop deadline probe: cheap counter, real clock read once per
+  // kClockStride calls. Once expired the result is sticky, so fallback
+  // rungs retried after exhaustion fail fast instead of re-burning time.
+  Status CheckDeadline(const char* stage) {
+    if (expired_) return Exhausted(stage, "deadline exceeded");
+    if (!has_deadline_) return Status::OK();
+    if ((tick_++ & (kClockStride - 1)) != 0) return Status::OK();
+    return CheckDeadlineNow(stage);
+  }
+
+  // Unstrided deadline probe for stage boundaries.
+  Status CheckDeadlineNow(const char* stage) {
+    if (expired_) return Exhausted(stage, "deadline exceeded");
+    if (!has_deadline_) return Status::OK();
+    if (Clock::now() >= deadline_) {
+      expired_ = true;
+      return Exhausted(stage, "deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  // Charges `n` materialized rows against the row cap and probes the
+  // deadline. Executor kernels call this as they produce output.
+  Status ChargeRows(uint64_t n, const char* stage) {
+    rows_ += n;
+    if (rows_ > max_rows_) {
+      return Exhausted(stage, "row budget exceeded (" +
+                                  std::to_string(rows_) + " > " +
+                                  std::to_string(max_rows_) + " rows)");
+    }
+    return CheckDeadline(stage);
+  }
+
+  // Plan accounting is advisory: the enumerator sizes its exploration to
+  // PlansRemaining() and reports truncation instead of erroring, so a plan
+  // cap degrades coverage rather than failing the query.
+  void AddPlans(uint64_t n) { plans_ += n; }
+  uint64_t PlansRemaining() const {
+    if (max_plans_ == kUnlimited) return kUnlimited;
+    return plans_ >= max_plans_ ? 0 : max_plans_ - plans_;
+  }
+
+  // Fresh per-rung counters for ladder retries (the deadline, being
+  // absolute, intentionally persists).
+  void ResetPlans() { plans_ = 0; }
+  void ResetRows() { rows_ = 0; }
+
+ private:
+  static Status Exhausted(const char* stage, const std::string& what) {
+    return Status::ResourceExhausted(std::string(stage) + ": " + what);
+  }
+
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool expired_ = false;
+  uint64_t max_plans_ = kUnlimited;
+  uint64_t max_rows_ = kUnlimited;
+  uint64_t rows_ = 0;
+  uint64_t plans_ = 0;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_BASE_BUDGET_H_

@@ -18,6 +18,10 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kOutOfRange,
+  // A cooperative resource budget (wall-clock deadline, plan cap, row cap)
+  // was exhausted. Recoverable: the optimizer's fallback ladder retries a
+  // cheaper enumeration mode and ultimately the as-written plan.
+  kResourceExhausted,
 };
 
 class Status {
@@ -41,6 +45,9 @@ class Status {
   }
   static Status OutOfRange(std::string m) {
     return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -67,6 +74,8 @@ class Status {
         return "Internal";
       case StatusCode::kOutOfRange:
         return "OutOfRange";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
   }

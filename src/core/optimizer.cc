@@ -4,15 +4,69 @@
 
 namespace gsopt {
 
-StatusOr<std::vector<PlanInfo>> QueryOptimizer::EnumerateFullPlans(
+std::string FallbackRungName(FallbackRung r) {
+  switch (r) {
+    case FallbackRung::kGeneralized:
+      return "generalized";
+    case FallbackRung::kBaseline:
+      return "baseline";
+    case FallbackRung::kBinaryOnly:
+      return "binary-only";
+    case FallbackRung::kSyntactic:
+      return "syntactic";
+  }
+  return "?";
+}
+
+FallbackRung RungOf(EnumMode m) {
+  switch (m) {
+    case EnumMode::kGeneralized:
+      return FallbackRung::kGeneralized;
+    case EnumMode::kBaseline:
+      return FallbackRung::kBaseline;
+    case EnumMode::kBinaryOnly:
+      return FallbackRung::kBinaryOnly;
+  }
+  return FallbackRung::kGeneralized;
+}
+
+std::string DegradationReport::ToString() const {
+  if (!degraded() && attempts.empty()) return "none";
+  std::string s = "requested=" + FallbackRungName(requested) +
+                  " produced=" + FallbackRungName(rung);
+  if (truncated) s += " (plan space truncated)";
+  for (const std::string& a : attempts) s += "; abandoned " + a;
+  return s;
+}
+
+namespace {
+
+// Enumeration mode of a non-syntactic rung.
+EnumMode ModeOf(FallbackRung r) {
+  switch (r) {
+    case FallbackRung::kBaseline:
+      return EnumMode::kBaseline;
+    case FallbackRung::kBinaryOnly:
+      return EnumMode::kBinaryOnly;
+    default:
+      return EnumMode::kGeneralized;
+  }
+}
+
+}  // namespace
+
+StatusOr<PlanSpace> QueryOptimizer::EnumeratePlanSpace(
     const NodePtr& query, const OptimizeOptions& options) const {
   if (query == nullptr) return Status::InvalidArgument("null query");
+  if (options.budget != nullptr) {
+    GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("optimize"));
+  }
   // Reorder below a root projection (the SQL binder's output shape), then
   // re-apply it on every plan.
   if (query->kind() == OpKind::kProject) {
-    GSOPT_ASSIGN_OR_RETURN(std::vector<PlanInfo> inner,
-                           EnumerateFullPlans(query->left(), options));
-    for (PlanInfo& p : inner) {
+    GSOPT_ASSIGN_OR_RETURN(PlanSpace inner,
+                           EnumeratePlanSpace(query->left(), options));
+    for (PlanInfo& p : inner.plans) {
       p.expr = (query->projection_out() != query->projection())
                    ? Node::ProjectAs(p.expr, query->projection(),
                                      query->projection_out())
@@ -23,58 +77,107 @@ StatusOr<std::vector<PlanInfo>> QueryOptimizer::EnumerateFullPlans(
   }
   NodePtr simplified =
       options.simplify ? SimplifyOuterJoins(query) : query;
-  GSOPT_ASSIGN_OR_RETURN(NormalizedQuery nq,
-                         NormalizeForReordering(simplified, catalog_));
+  GSOPT_ASSIGN_OR_RETURN(
+      NormalizedQuery nq,
+      NormalizeForReordering(simplified, catalog_, options.budget));
 
+  PlanSpace space;
   std::vector<NodePtr> trees;
   auto qg = BuildQueryGraph(nq.join_tree, catalog_);
   if (qg.ok() && qg->hypergraph.NumRelations() >= 1) {
     EnumOptions eo;
     eo.mode = options.mode;
     eo.max_plans = options.max_plans;
+    eo.budget = options.budget;
     if (options.prune) {
       eo.cost_fn = [this](const NodePtr& n) { return cost_model_.Cost(n); };
     }
     Enumerator en(qg->hypergraph, eo);
     en.SetLeafExprs(qg->leaf_exprs);
-    auto plans = en.EnumerateAll();
-    if (plans.ok()) {
-      for (const PlanCandidate& c : *plans) trees.push_back(c.expr);
+    auto enumerated = en.Enumerate();
+    if (enumerated.ok()) {
+      space.truncated = enumerated->truncated;
+      for (const PlanCandidate& c : enumerated->plans) {
+        trees.push_back(c.expr);
+      }
+    } else if (enumerated.status().code() == StatusCode::kResourceExhausted) {
+      // Budget expiry is the caller's signal to descend the fallback
+      // ladder; swallowing it here would burn the remaining budget on
+      // wrapper application for a single-tree plan space.
+      return enumerated.status();
     }
+    // Other enumerator failures (e.g. opaque-only queries) keep the
+    // single-tree fallback below.
   }
   if (trees.empty()) {
     // Fallback: the normalized tree as-is (e.g. a single opaque unit).
     trees.push_back(nq.join_tree);
   }
 
-  std::vector<PlanInfo> out;
-  out.reserve(trees.size() + 1);
+  space.plans.reserve(trees.size() + 1);
   for (const NodePtr& t : trees) {
     GSOPT_ASSIGN_OR_RETURN(NodePtr full, ApplyWrappers(nq, t, catalog_));
-    out.push_back(PlanInfo{full, cost_model_.Cost(full)});
+    space.plans.push_back(PlanInfo{full, cost_model_.Cost(full)});
   }
   // No-regression guarantee: normalization (e.g. aggregation pull-up into
   // cartesian outer joins) can make EVERY reordered plan worse than the
   // as-written form; the original always stays a candidate.
-  out.push_back(PlanInfo{simplified, cost_model_.Cost(simplified)});
-  return out;
+  space.plans.push_back(PlanInfo{simplified, cost_model_.Cost(simplified)});
+  return space;
+}
+
+StatusOr<std::vector<PlanInfo>> QueryOptimizer::EnumerateFullPlans(
+    const NodePtr& query, const OptimizeOptions& options) const {
+  GSOPT_ASSIGN_OR_RETURN(PlanSpace space, EnumeratePlanSpace(query, options));
+  return std::move(space.plans);
 }
 
 StatusOr<OptimizeResult> QueryOptimizer::Optimize(
     const NodePtr& query, const OptimizeOptions& options) const {
-  GSOPT_ASSIGN_OR_RETURN(std::vector<PlanInfo> plans,
-                         EnumerateFullPlans(query, options));
+  if (query == nullptr) return Status::InvalidArgument("null query");
   OptimizeResult result;
   result.original = query;
   result.simplified = options.simplify ? SimplifyOuterJoins(query) : query;
   result.original_cost = cost_model_.Cost(query);
-  result.plans_considered = plans.size();
-  const PlanInfo* best = &plans[0];
-  for (const PlanInfo& p : plans) {
-    if (p.cost < best->cost) best = &p;
+  DegradationReport& deg = result.degradation;
+  deg.requested = RungOf(options.mode);
+  deg.rung = deg.requested;
+
+  for (int r = static_cast<int>(deg.requested);
+       r <= static_cast<int>(FallbackRung::kSyntactic); ++r) {
+    FallbackRung rung = static_cast<FallbackRung>(r);
+    if (rung == FallbackRung::kSyntactic) {
+      // Terminal rung: the simplified as-written expression, no search.
+      // Always valid, so the ladder cannot come back empty-handed.
+      deg.rung = rung;
+      result.best =
+          PlanInfo{result.simplified, cost_model_.Cost(result.simplified)};
+      result.plans_considered += 1;
+      return result;
+    }
+    OptimizeOptions rung_options = options;
+    rung_options.mode = ModeOf(rung);
+    auto space = EnumeratePlanSpace(query, rung_options);
+    if (!space.ok()) {
+      if (options.fallback &&
+          space.status().code() == StatusCode::kResourceExhausted) {
+        deg.attempts.push_back(FallbackRungName(rung) + ": " +
+                               space.status().ToString());
+        continue;
+      }
+      return space.status();
+    }
+    deg.rung = rung;
+    deg.truncated = space->truncated;
+    result.plans_considered += space->plans.size();
+    const PlanInfo* best = &space->plans[0];
+    for (const PlanInfo& p : space->plans) {
+      if (p.cost < best->cost) best = &p;
+    }
+    result.best = *best;
+    return result;
   }
-  result.best = *best;
-  return result;
+  return Status::Internal("fallback ladder exhausted without a plan");
 }
 
 }  // namespace gsopt

@@ -10,21 +10,45 @@
 // enumerate association trees / assign operators (Definition 3.2 + GS +
 // MGOJ, or the restricted baseline modes) -> cost and pick the best plan ->
 // re-apply the wrapper stack above it.
+//
+// Resource governance: OptimizeOptions may carry a ResourceBudget (deadline
+// / plan cap). When a budget expires mid-enumeration the facade walks a
+// fallback ladder of progressively cheaper plan spaces with whatever budget
+// remains --
+//   generalized -> baseline -> binary-only -> syntactic (as-written order)
+// -- so a plan always comes back. The final rung never enumerates: it costs
+// the simplified as-written expression and returns it. OptimizeResult's
+// DegradationReport records the requested rung, the rung that produced the
+// plan, whether the plan cap truncated the space, and the error from each
+// abandoned rung.
 #ifndef GSOPT_CORE_OPTIMIZER_H_
 #define GSOPT_CORE_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "algebra/execute.h"
 #include "algebra/node.h"
 #include "algebra/normalize.h"
 #include "algebra/simplify.h"
+#include "base/budget.h"
 #include "base/status.h"
 #include "enumerate/enumerator.h"
 #include "optimizer/cost_model.h"
 #include "relational/catalog.h"
 
 namespace gsopt {
+
+// Rungs of the fallback ladder, strongest (largest plan space) first.
+// kSyntactic is not an enumeration mode: it returns the simplified
+// as-written expression without searching, so it always succeeds.
+enum class FallbackRung { kGeneralized = 0, kBaseline, kBinaryOnly,
+                          kSyntactic };
+
+std::string FallbackRungName(FallbackRung r);
+
+// The ladder rung a caller-requested enumeration mode starts at.
+FallbackRung RungOf(EnumMode m);
 
 struct OptimizeOptions {
   EnumMode mode = EnumMode::kGeneralized;
@@ -33,11 +57,32 @@ struct OptimizeOptions {
   bool prune = true;
   bool simplify = true;
   size_t max_plans = 2000000;
+  // Optional cooperative resource budget (not owned). Checked in the
+  // normalizer, the enumerator's DP loop, and (when passed on to Execute)
+  // the row-producing operators.
+  ResourceBudget* budget = nullptr;
+  // When the budget is exhausted mid-search, descend the fallback ladder
+  // instead of failing. Disable to surface Status(kResourceExhausted).
+  bool fallback = true;
 };
 
 struct PlanInfo {
   NodePtr expr;
   double cost = 0.0;
+};
+
+// How (and whether) resource pressure degraded an optimization.
+struct DegradationReport {
+  FallbackRung requested = FallbackRung::kGeneralized;
+  FallbackRung rung = FallbackRung::kGeneralized;  // produced the plan
+  // The plan cap stopped the winning rung's enumeration early; the plan is
+  // valid but possibly suboptimal.
+  bool truncated = false;
+  // One entry per abandoned rung: "<rung>: <status>".
+  std::vector<std::string> attempts;
+
+  bool degraded() const { return truncated || rung != requested; }
+  std::string ToString() const;
 };
 
 struct OptimizeResult {
@@ -46,6 +91,13 @@ struct OptimizeResult {
   PlanInfo best;
   double original_cost = 0.0;
   size_t plans_considered = 0;
+  DegradationReport degradation;
+};
+
+// A costed plan space plus whether enumeration was truncated by a cap.
+struct PlanSpace {
+  std::vector<PlanInfo> plans;
+  bool truncated = false;
 };
 
 class QueryOptimizer {
@@ -56,8 +108,13 @@ class QueryOptimizer {
   StatusOr<OptimizeResult> Optimize(const NodePtr& query,
                                     const OptimizeOptions& options = {}) const;
 
-  // Every valid complete plan (wrappers applied), costed. With
-  // options.prune the list is the DP frontier, not the full space.
+  // Every valid complete plan (wrappers applied), costed, plus the
+  // truncation flag. With options.prune the list is the DP frontier, not
+  // the full space. Runs a single rung (options.mode) -- no ladder.
+  StatusOr<PlanSpace> EnumeratePlanSpace(
+      const NodePtr& query, const OptimizeOptions& options = {}) const;
+
+  // Back-compat convenience: the plans of EnumeratePlanSpace().
   StatusOr<std::vector<PlanInfo>> EnumerateFullPlans(
       const NodePtr& query, const OptimizeOptions& options = {}) const;
 

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
-
-#include "base/check.h"
 
 namespace gsopt {
 
@@ -26,8 +25,14 @@ Enumerator::Enumerator(const Hypergraph& h, EnumOptions options)
   edge_atoms_.resize(h_.NumEdges());
   for (const Hyperedge& e : h_.edges()) {
     for (size_t i = 0; i < e.atoms.size(); ++i) {
-      GSOPT_CHECK_MSG(atoms_.size() < RelSet::kMaxRelations,
-                      "too many predicate atoms");
+      if (atoms_.size() >= RelSet::kMaxRelations) {
+        // Atom ids share RelSet's 64-bit index space; a query exceeding it
+        // is user input, so fail from Enumerate() instead of aborting.
+        init_status_ = Status::InvalidArgument(
+            "too many predicate atoms (limit " +
+            std::to_string(RelSet::kMaxRelations) + ")");
+        return;
+      }
       edge_atoms_[e.id].push_back(static_cast<int>(atoms_.size()));
       atoms_.push_back(AtomInfo{e.id, static_cast<int>(i), e.atoms[i].span});
     }
@@ -400,11 +405,22 @@ StatusOr<PlanCandidate> Enumerator::Finalize(const SubPlan& plan) const {
   return cand;
 }
 
-StatusOr<std::vector<PlanCandidate>> Enumerator::EnumerateAll() {
+StatusOr<EnumerationResult> Enumerator::Enumerate() {
+  GSOPT_RETURN_IF_ERROR(init_status_);
   int n = h_.NumRelations();
   if (n == 0) return Status::InvalidArgument("empty hypergraph");
   if (!SubsetConnected(h_.AllRels())) {
     return Status::InvalidArgument("query hypergraph is not connected");
+  }
+  ResourceBudget* budget = options_.budget;
+  if (budget != nullptr) {
+    GSOPT_RETURN_IF_ERROR(budget->CheckDeadlineNow("enumerate"));
+  }
+  // Effective subplan cap: the per-call option tightened by whatever plan
+  // allowance remains on the budget (which is shared across ladder rungs).
+  size_t cap = options_.max_plans;
+  if (budget != nullptr) {
+    cap = std::min<uint64_t>(cap, budget->PlansRemaining());
   }
 
   std::unordered_map<uint64_t, std::vector<SubPlan>> table;
@@ -417,6 +433,7 @@ StatusOr<std::vector<PlanCandidate>> Enumerator::EnumerateAll() {
 
   uint64_t full = h_.AllRels().bits();
   size_t total_emitted = 0;
+  bool truncated = false;
   // Subsets in increasing popcount order.
   std::vector<uint64_t> subsets;
   for (uint64_t s = 1; s <= full; ++s) {
@@ -430,11 +447,18 @@ StatusOr<std::vector<PlanCandidate>> Enumerator::EnumerateAll() {
   for (uint64_t sbits : subsets) {
     RelSet s(sbits);
     if (!SubsetConnected(s)) continue;
+    if (budget != nullptr) {
+      GSOPT_RETURN_IF_ERROR(budget->CheckDeadlineNow("enumerate"));
+    }
     std::vector<SubPlan> plans;
     std::unordered_set<std::string> seen;
     uint64_t low = sbits & (~sbits + 1);  // lowest bit stays in s1
     for (uint64_t sub = (sbits - 1) & sbits; sub; sub = (sub - 1) & sbits) {
       if (!(sub & low)) continue;
+      // Past the cap the DP must stay connected but needn't explore: one
+      // plan per subset keeps every larger subset (and the full set)
+      // reachable while cutting the combinatorial fan-out.
+      if (truncated && !plans.empty()) break;
       uint64_t other = sbits ^ sub;
       if (other == 0) continue;
       auto it1 = table.find(sub);
@@ -442,17 +466,21 @@ StatusOr<std::vector<PlanCandidate>> Enumerator::EnumerateAll() {
       if (it1 == table.end() || it2 == table.end()) continue;
       RelSet s1(sub), s2(other);
       for (const SubPlan& p1 : it1->second) {
+        if (truncated && !plans.empty()) break;
         for (const SubPlan& p2 : it2->second) {
+          if (budget != nullptr) {
+            GSOPT_RETURN_IF_ERROR(budget->CheckDeadline("enumerate"));
+          }
+          if (truncated && !plans.empty()) break;
           std::vector<SubPlan> emitted;
           Combine(s1, p1, s2, p2, &emitted);
           for (SubPlan& np : emitted) {
             std::string key = np.expr->ToString();
             if (seen.insert(key).second) {
               plans.push_back(std::move(np));
-              if (++total_emitted > options_.max_plans) {
-                return Status::OutOfRange("plan budget exceeded");
-              }
+              if (++total_emitted >= cap) truncated = true;
             }
+            if (truncated) break;
           }
         }
       }
@@ -475,23 +503,35 @@ StatusOr<std::vector<PlanCandidate>> Enumerator::EnumerateAll() {
     if (!plans.empty()) table[sbits] = std::move(plans);
   }
 
+  if (budget != nullptr) budget->AddPlans(total_emitted);
+
   auto it = table.find(full);
   if (it == table.end()) {
     return Status::NotFound("no plan covers all relations");
   }
-  std::vector<PlanCandidate> out;
+  EnumerationResult result;
+  result.truncated = truncated;
+  result.subplans_emitted = total_emitted;
   std::unordered_set<std::string> seen;
   for (const SubPlan& sp : it->second) {
     auto cand = Finalize(sp);
     if (!cand.ok()) continue;
     std::string key = cand->expr->ToString();
-    if (seen.insert(key).second) out.push_back(std::move(*cand));
+    if (seen.insert(key).second) result.plans.push_back(std::move(*cand));
   }
-  if (out.empty()) return Status::NotFound("no valid finalized plan");
-  return out;
+  if (result.plans.empty()) {
+    return Status::NotFound("no valid finalized plan");
+  }
+  return result;
+}
+
+StatusOr<std::vector<PlanCandidate>> Enumerator::EnumerateAll() {
+  GSOPT_ASSIGN_OR_RETURN(EnumerationResult result, Enumerate());
+  return std::move(result.plans);
 }
 
 StatusOr<long long> Enumerator::CountAssociationTrees() {
+  GSOPT_RETURN_IF_ERROR(init_status_);
   int n = h_.NumRelations();
   if (n == 0) return Status::InvalidArgument("empty hypergraph");
   std::unordered_map<uint64_t, long long> cnt;
@@ -510,6 +550,9 @@ StatusOr<long long> Enumerator::CountAssociationTrees() {
   for (uint64_t sbits : subsets) {
     RelSet s(sbits);
     if (!SubsetConnected(s)) continue;
+    if (options_.budget != nullptr) {
+      GSOPT_RETURN_IF_ERROR(options_.budget->CheckDeadlineNow("count-trees"));
+    }
     long long total = 0;
     uint64_t low = sbits & (~sbits + 1);
     for (uint64_t sub = (sbits - 1) & sbits; sub; sub = (sub - 1) & sbits) {

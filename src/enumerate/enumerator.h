@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "algebra/node.h"
+#include "base/budget.h"
 #include "base/status.h"
 #include "hypergraph/analysis.h"
 #include "hypergraph/hypergraph.h"
@@ -48,8 +49,16 @@ struct EnumOptions {
   // applicable atoms of a complex edge (keeping a strict subset at the
   // operator); otherwise a placement applies every applicable atom.
   bool enumerate_partial_keeps = true;
-  // Hard cap on total emitted plans (safety valve for large queries).
+  // Soft cap on total emitted subplans. Hitting it does NOT fail the
+  // enumeration: exploration of alternatives stops (one plan per remaining
+  // DP cell keeps the search connected) and the result carries
+  // truncated=true so callers can report a possibly-suboptimal plan.
   size_t max_plans = 2000000;
+  // Optional cooperative budget (not owned). The DP loop probes the
+  // deadline at combination granularity and returns
+  // Status(kResourceExhausted) when it expires; the budget's plan
+  // allowance tightens max_plans.
+  ResourceBudget* budget = nullptr;
   // Dynamic-programming pruning: when set, each DP cell keeps only the
   // cheapest subplan per (applied atoms, placed edges) state -- states
   // differ in which compensations remain, so they are not interchangeable
@@ -64,6 +73,15 @@ struct PlanCandidate {
   int num_deferred = 0;    // atoms compensated at the root
 };
 
+struct EnumerationResult {
+  std::vector<PlanCandidate> plans;
+  // The plan cap stopped exploration before the space was exhausted: the
+  // plans are all valid, but a cheaper one may exist.
+  bool truncated = false;
+  // Total DP subplans emitted (a work metric, not |plans|).
+  size_t subplans_emitted = 0;
+};
+
 class Enumerator {
  public:
   Enumerator(const Hypergraph& h, EnumOptions options);
@@ -74,7 +92,14 @@ class Enumerator {
     leaf_exprs_ = std::move(leaf_exprs);
   }
 
-  // All valid plans for the full relation set (deduplicated by structure).
+  // All valid plans for the full relation set (deduplicated by structure),
+  // plus whether the plan cap truncated the space. On deadline expiry
+  // returns Status(kResourceExhausted) -- a partial DP table has no plan
+  // covering every relation, so there is nothing valid to salvage.
+  StatusOr<EnumerationResult> Enumerate();
+
+  // Back-compat convenience: the plans of Enumerate() without the
+  // truncation report.
   StatusOr<std::vector<PlanCandidate>> EnumerateAll();
 
   // Number of distinct association trees (bracketings, ignoring operator
@@ -116,6 +141,9 @@ class Enumerator {
   const Hypergraph& h_;
   HypergraphAnalysis analysis_;
   EnumOptions options_;
+  // Construction problems (e.g. more predicate atoms than RelSet can
+  // index) are deferred and reported from Enumerate(), not aborted on.
+  Status init_status_;
   std::map<std::string, NodePtr> leaf_exprs_;
   std::vector<AtomInfo> atoms_;           // global atom table
   std::vector<std::vector<int>> edge_atoms_;  // edge id -> global atom ids

@@ -134,19 +134,37 @@ struct Accumulator {
 
 }  // namespace
 
-Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec) {
-  // Resolve group columns and grouping virtual attributes.
+StatusOr<Relation> GeneralizedProjection(const Relation& r,
+                                         const GroupBySpec& spec,
+                                         const ExecContext& ctx) {
+  // Resolve group columns and grouping virtual attributes. A spec naming
+  // attributes the input does not carry is reachable from hand-built plans
+  // and malformed SQL, so it is an input error, not an invariant.
   std::vector<int> gcol_idx;
   for (const Attribute& a : spec.group_cols) {
     int i = r.schema().Find(a.rel, a.name);
-    GSOPT_CHECK_MSG(i >= 0, ("group-by: missing " + a.Qualified()).c_str());
+    if (i < 0) {
+      return Status::InvalidArgument("group-by: missing attribute " +
+                                     a.Qualified());
+    }
     gcol_idx.push_back(i);
   }
   std::vector<int> gvid_idx;
   for (const std::string& rel : spec.group_vid_rels) {
     int i = r.vschema().Find(rel);
-    GSOPT_CHECK_MSG(i >= 0, ("group-by: no virtual attr for " + rel).c_str());
+    if (i < 0) {
+      return Status::InvalidArgument("group-by: no virtual attribute for " +
+                                     rel);
+    }
     gvid_idx.push_back(i);
+  }
+  // Validate COUNT_PRESENT targets up front, before the grouping loop.
+  for (const AggSpec& a : spec.aggs) {
+    if (a.func == AggFunc::kCountPresence &&
+        r.vschema().Find(a.presence_rel) < 0) {
+      return Status::InvalidArgument("COUNT_PRESENT: unknown relation " +
+                                     a.presence_rel);
+    }
   }
 
   Schema out_schema;
@@ -174,6 +192,7 @@ Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec) {
   std::vector<std::string> order;  // first-seen order, for determinism
 
   for (const Tuple& t : r.rows()) {
+    GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
     std::string key = EncodeTupleKey(t, gcol_idx, gvid_idx);
     auto it = groups.find(key);
     if (it == groups.end()) {
@@ -190,7 +209,6 @@ Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec) {
         v = Value::Int(1);
       } else if (a.func == AggFunc::kCountPresence) {
         int vi = r.vschema().Find(a.presence_rel);
-        GSOPT_CHECK_MSG(vi >= 0, "COUNT_PRESENT: unknown relation");
         v = (t.vids[vi] == kNullRowId) ? Value::Null() : Value::Int(1);
       } else {
         v = a.input->Eval(t, r.schema());
@@ -214,6 +232,7 @@ Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec) {
     for (int i : gvid_idx) t.vids.push_back(g.representative.vids[i]);
     if (synthetic_vid) t.vids.push_back(group_ordinal++);
     out.Add(std::move(t));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "group-by"));
   }
   return out;
 }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
+#include "exec/eval.h"
 #include "relational/expr.h"
 #include "relational/relation.h"
 
@@ -63,7 +65,13 @@ struct GroupBySpec {
   std::string ToString() const;
 };
 
-Relation GeneralizedProjection(const Relation& r, const GroupBySpec& spec);
+// Fallible: a spec naming an attribute, virtual attribute, or
+// COUNT_PRESENT relation the input does not carry returns
+// Status(kInvalidArgument); a resource budget on `ctx` is checked
+// cooperatively while grouping.
+StatusOr<Relation> GeneralizedProjection(const Relation& r,
+                                         const GroupBySpec& spec,
+                                         const ExecContext& ctx = {});
 
 }  // namespace gsopt::exec
 

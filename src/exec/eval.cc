@@ -73,8 +73,8 @@ struct JoinCoreResult {
   std::vector<char> b_matched;
 };
 
-JoinCoreResult JoinCore(const Relation& a, const Relation& b,
-                        const Predicate& p) {
+StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
+                                  const Predicate& p, const ExecContext& ctx) {
   JoinCoreResult res;
   Schema out_schema = Schema::Concat(a.schema(), b.schema());
   VirtualSchema out_vschema =
@@ -94,6 +94,7 @@ JoinCoreResult JoinCore(const Relation& a, const Relation& b,
     }
     Predicate residual(plan.residual);
     for (int i = 0; i < a.NumRows(); ++i) {
+      GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
       if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) continue;
       auto it = table.find(key);
       if (it == table.end()) continue;
@@ -103,17 +104,20 @@ JoinCoreResult JoinCore(const Relation& a, const Relation& b,
           res.a_matched[i] = 1;
           res.b_matched[j] = 1;
           res.out.Add(std::move(t));
+          GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
         }
       }
     }
   } else {
     for (int i = 0; i < a.NumRows(); ++i) {
       for (int j = 0; j < b.NumRows(); ++j) {
+        GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
         Tuple t = Tuple::Concat(a.row(i), b.row(j));
         if (p.Satisfied(t, out_schema)) {
           res.a_matched[i] = 1;
           res.b_matched[j] = 1;
           res.out.Add(std::move(t));
+          GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
         }
       }
     }
@@ -163,32 +167,44 @@ Tuple PadGroupTuple(const Tuple& src, const GroupIndex& gi,
 
 }  // namespace
 
-Relation Product(const Relation& a, const Relation& b) {
+StatusOr<Relation> Product(const Relation& a, const Relation& b,
+                           const ExecContext& ctx) {
   Relation out(Schema::Concat(a.schema(), b.schema()),
                VirtualSchema::Concat(a.vschema(), b.vschema()));
   out.Reserve(a.NumRows() * b.NumRows());
   for (const Tuple& ta : a.rows()) {
     for (const Tuple& tb : b.rows()) {
       out.Add(Tuple::Concat(ta, tb));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "product"));
     }
   }
   return out;
 }
 
-Relation Select(const Relation& r, const Predicate& p) {
+StatusOr<Relation> Select(const Relation& r, const Predicate& p,
+                          const ExecContext& ctx) {
   Relation out(r.schema(), r.vschema());
   for (const Tuple& t : r.rows()) {
-    if (p.Satisfied(t, r.schema())) out.Add(t);
+    GSOPT_RETURN_IF_ERROR(ctx.Tick("select"));
+    if (p.Satisfied(t, r.schema())) {
+      out.Add(t);
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "select"));
+    }
   }
   return out;
 }
 
-Relation Project(const Relation& r, const std::vector<Attribute>& attrs) {
+StatusOr<Relation> Project(const Relation& r,
+                           const std::vector<Attribute>& attrs,
+                           const ExecContext& ctx) {
   Schema schema;
   std::vector<int> src_idx;
   for (const Attribute& a : attrs) {
     int i = r.schema().Find(a.rel, a.name);
-    GSOPT_CHECK_MSG(i >= 0, ("project: missing " + a.Qualified()).c_str());
+    if (i < 0) {
+      return Status::InvalidArgument("project: missing attribute " +
+                                     a.Qualified());
+    }
     schema.Append(a);
     src_idx.push_back(i);
   }
@@ -214,19 +230,27 @@ Relation Project(const Relation& r, const std::vector<Attribute>& attrs) {
     nt.vids.reserve(vid_idx.size());
     for (int i : vid_idx) nt.vids.push_back(t.vids[i]);
     out.Add(std::move(nt));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "project"));
   }
   return out;
 }
 
-Relation ProjectAs(const Relation& r, const std::vector<Attribute>& src,
-                   const std::vector<Attribute>& out) {
-  GSOPT_CHECK(src.size() == out.size());
+StatusOr<Relation> ProjectAs(const Relation& r,
+                             const std::vector<Attribute>& src,
+                             const std::vector<Attribute>& out,
+                             const ExecContext& ctx) {
+  if (src.size() != out.size()) {
+    return Status::InvalidArgument(
+        "project-as: source and output column counts differ");
+  }
   Schema schema;
   std::vector<int> src_idx;
   for (size_t i = 0; i < src.size(); ++i) {
     int j = r.schema().Find(src[i].rel, src[i].name);
-    GSOPT_CHECK_MSG(j >= 0,
-                    ("project-as: missing " + src[i].Qualified()).c_str());
+    if (j < 0) {
+      return Status::InvalidArgument("project-as: missing attribute " +
+                                     src[i].Qualified());
+    }
     schema.Append(out[i]);
     src_idx.push_back(j);
   }
@@ -237,51 +261,57 @@ Relation ProjectAs(const Relation& r, const std::vector<Attribute>& src,
     nt.values.reserve(src_idx.size());
     for (int j : src_idx) nt.values.push_back(t.values[j]);
     result.Add(std::move(nt));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "project-as"));
   }
   return result;
 }
 
-Relation InnerJoin(const Relation& a, const Relation& b, const Predicate& p) {
-  return JoinCore(a, b, p).out;
+StatusOr<Relation> InnerJoin(const Relation& a, const Relation& b,
+                             const Predicate& p, const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
+  return std::move(core.out);
 }
 
-Relation LeftOuterJoin(const Relation& a, const Relation& b,
-                       const Predicate& p) {
-  JoinCoreResult core = JoinCore(a, b, p);
+StatusOr<Relation> LeftOuterJoin(const Relation& a, const Relation& b,
+                                 const Predicate& p, const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Tuple b_null;
   b_null.values.assign(b.schema().size(), Value::Null());
   b_null.vids.assign(b.vschema().size(), kNullRowId);
   for (int i = 0; i < a.NumRows(); ++i) {
     if (!core.a_matched[i]) {
       core.out.Add(Tuple::Concat(a.row(i), b_null));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "left-outer-join"));
     }
   }
   return std::move(core.out);
 }
 
-Relation RightOuterJoin(const Relation& a, const Relation& b,
-                        const Predicate& p) {
-  JoinCoreResult core = JoinCore(a, b, p);
+StatusOr<Relation> RightOuterJoin(const Relation& a, const Relation& b,
+                                  const Predicate& p, const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Tuple a_null;
   a_null.values.assign(a.schema().size(), Value::Null());
   a_null.vids.assign(a.vschema().size(), kNullRowId);
   for (int j = 0; j < b.NumRows(); ++j) {
     if (!core.b_matched[j]) {
       core.out.Add(Tuple::Concat(a_null, b.row(j)));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "right-outer-join"));
     }
   }
   return std::move(core.out);
 }
 
-Relation FullOuterJoin(const Relation& a, const Relation& b,
-                       const Predicate& p) {
-  JoinCoreResult core = JoinCore(a, b, p);
+StatusOr<Relation> FullOuterJoin(const Relation& a, const Relation& b,
+                                 const Predicate& p, const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Tuple b_null;
   b_null.values.assign(b.schema().size(), Value::Null());
   b_null.vids.assign(b.vschema().size(), kNullRowId);
   for (int i = 0; i < a.NumRows(); ++i) {
     if (!core.a_matched[i]) {
       core.out.Add(Tuple::Concat(a.row(i), b_null));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "full-outer-join"));
     }
   }
   Tuple a_null;
@@ -290,30 +320,40 @@ Relation FullOuterJoin(const Relation& a, const Relation& b,
   for (int j = 0; j < b.NumRows(); ++j) {
     if (!core.b_matched[j]) {
       core.out.Add(Tuple::Concat(a_null, b.row(j)));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "full-outer-join"));
     }
   }
   return std::move(core.out);
 }
 
-Relation AntiJoin(const Relation& a, const Relation& b, const Predicate& p) {
-  JoinCoreResult core = JoinCore(a, b, p);
+StatusOr<Relation> AntiJoin(const Relation& a, const Relation& b,
+                            const Predicate& p, const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Relation out(a.schema(), a.vschema());
   for (int i = 0; i < a.NumRows(); ++i) {
-    if (!core.a_matched[i]) out.Add(a.row(i));
+    if (!core.a_matched[i]) {
+      out.Add(a.row(i));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "anti-join"));
+    }
   }
   return out;
 }
 
-Relation SemiJoin(const Relation& a, const Relation& b, const Predicate& p) {
-  JoinCoreResult core = JoinCore(a, b, p);
+StatusOr<Relation> SemiJoin(const Relation& a, const Relation& b,
+                            const Predicate& p, const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Relation out(a.schema(), a.vschema());
   for (int i = 0; i < a.NumRows(); ++i) {
-    if (core.a_matched[i]) out.Add(a.row(i));
+    if (core.a_matched[i]) {
+      out.Add(a.row(i));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "semi-join"));
+    }
   }
   return out;
 }
 
-Relation OuterUnion(const Relation& a, const Relation& b) {
+StatusOr<Relation> OuterUnion(const Relation& a, const Relation& b,
+                              const ExecContext& ctx) {
   Schema schema = a.schema();
   std::vector<int> b_value_map(b.schema().size(), -1);
   for (int i = 0; i < b.schema().size(); ++i) {
@@ -344,6 +384,7 @@ Relation OuterUnion(const Relation& a, const Relation& b) {
     nt.vids = t.vids;
     nt.vids.resize(vschema.size(), kNullRowId);
     out.Add(std::move(nt));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "outer-union"));
   }
   for (const Tuple& t : b.rows()) {
     Tuple nt;
@@ -356,23 +397,30 @@ Relation OuterUnion(const Relation& a, const Relation& b) {
       nt.vids[b_vid_map[i]] = t.vids[i];
     }
     out.Add(std::move(nt));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "outer-union"));
   }
   return out;
 }
 
-Relation GeneralizedSelection(const Relation& r, const Predicate& p,
-                              const std::vector<PreservedGroup>& groups) {
-  // Pairwise-disjointness is a precondition of Definition 2.1.
+StatusOr<Relation> GeneralizedSelection(
+    const Relation& r, const Predicate& p,
+    const std::vector<PreservedGroup>& groups, const ExecContext& ctx) {
+  // Pairwise-disjointness is a precondition of Definition 2.1. Hand-built
+  // plans can violate it, so it is an input error, not an invariant.
   for (size_t i = 0; i < groups.size(); ++i) {
     for (size_t j = i + 1; j < groups.size(); ++j) {
       for (const std::string& rel : groups[i]) {
-        GSOPT_CHECK_MSG(groups[j].count(rel) == 0,
-                        "generalized selection groups must be disjoint");
+        if (groups[j].count(rel) != 0) {
+          return Status::InvalidArgument(
+              "generalized selection: preserved groups must be disjoint "
+              "(relation " +
+              rel + " appears twice)");
+        }
       }
     }
   }
 
-  Relation selected = Select(r, p);
+  GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, ctx));
   Relation out(r.schema(), r.vschema());
   for (const Tuple& t : selected.rows()) out.Add(t);
 
@@ -384,19 +432,23 @@ Relation GeneralizedSelection(const Relation& r, const Predicate& p,
     }
     std::unordered_set<std::string> added;
     for (const Tuple& t : r.rows()) {
+      GSOPT_RETURN_IF_ERROR(ctx.Tick("generalized-selection"));
       if (GroupPartAllNull(t, gi)) continue;
       std::string key = EncodeTupleKey(t, gi.value_idx, gi.vid_idx);
       if (surviving.count(key) || added.count(key)) continue;
       added.insert(std::move(key));
       out.Add(PadGroupTuple(t, gi, out));
+      GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "generalized-selection"));
     }
   }
   return out;
 }
 
-Relation Mgoj(const Relation& a, const Relation& b, const Predicate& p,
-              const std::vector<PreservedGroup>& groups) {
-  JoinCoreResult core = JoinCore(a, b, p);
+StatusOr<Relation> Mgoj(const Relation& a, const Relation& b,
+                        const Predicate& p,
+                        const std::vector<PreservedGroup>& groups,
+                        const ExecContext& ctx) {
+  GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Relation out(core.out.schema(), core.out.vschema());
   for (const Tuple& t : core.out.rows()) out.Add(t);
 
@@ -413,13 +465,16 @@ Relation Mgoj(const Relation& a, const Relation& b, const Predicate& p,
     }
     std::unordered_set<std::string> added;
 
+    Status charge_status = Status::OK();
     auto consider = [&](const Tuple& ta, const Tuple& tb) {
+      if (!charge_status.ok()) return;
       Tuple t = Tuple::Concat(ta, tb);
       if (GroupPartAllNull(t, gout)) return;
       std::string key = EncodeTupleKey(t, gout.value_idx, gout.vid_idx);
       if (surviving.count(key) || added.count(key)) return;
       added.insert(std::move(key));
       out.Add(PadGroupTuple(t, gout, out));
+      charge_status = ctx.ChargeRows(1, "mgoj");
     };
 
     bool group_in_a = !ga.value_idx.empty() || !ga.vid_idx.empty();
@@ -453,6 +508,7 @@ Relation Mgoj(const Relation& a, const Relation& b, const Predicate& p,
     } else if (group_in_b) {
       for (const Tuple& tb : b.rows()) consider(null_a, tb);
     }
+    GSOPT_RETURN_IF_ERROR(charge_status);
   }
   return out;
 }

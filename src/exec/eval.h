@@ -7,6 +7,15 @@
 // Joins use a hash path on the equi-conjuncts of the predicate whose sides
 // separate cleanly across the two inputs, with any residual conjuncts
 // evaluated per candidate pair; otherwise they fall back to nested loops.
+//
+// Every kernel is fallible: user-reachable input mismatches (a projection
+// or group-by naming an attribute the input does not carry, overlapping
+// preserved groups, an unknown COUNT_PRESENT relation) return
+// Status(kInvalidArgument) instead of aborting, and when an ExecContext
+// carries a ResourceBudget the row-producing loops check it cooperatively
+// and return Status(kResourceExhausted) mid-production rather than
+// materializing an unbounded result. GSOPT_CHECK remains only for
+// genuinely internal invariants.
 #ifndef GSOPT_EXEC_EVAL_H_
 #define GSOPT_EXEC_EVAL_H_
 
@@ -14,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "base/budget.h"
+#include "base/status.h"
 #include "relational/expr.h"
 #include "relational/relation.h"
 
@@ -23,49 +34,81 @@ namespace gsopt::exec {
 // relation names forming one r_i of sigma*_p[r_1,...,r_n](r).
 using PreservedGroup = std::set<std::string>;
 
-Relation Product(const Relation& a, const Relation& b);
+// Per-invocation execution context threaded into every kernel. Default
+// constructed it is a no-op (unlimited budget), so direct kernel calls in
+// tests and benches stay terse.
+struct ExecContext {
+  ResourceBudget* budget = nullptr;
 
-Relation Select(const Relation& r, const Predicate& p);
+  Status ChargeRows(uint64_t n, const char* stage) const {
+    if (budget == nullptr) return Status::OK();
+    return budget->ChargeRows(n, stage);
+  }
+  Status Tick(const char* stage) const {
+    if (budget == nullptr) return Status::OK();
+    return budget->CheckDeadline(stage);
+  }
+};
+
+StatusOr<Relation> Product(const Relation& a, const Relation& b,
+                           const ExecContext& ctx = {});
+
+StatusOr<Relation> Select(const Relation& r, const Predicate& p,
+                          const ExecContext& ctx = {});
 
 // Duplicate-preserving projection onto the given real attributes. The
 // virtual schema is restricted to base relations fully covered by `attrs`.
-Relation Project(const Relation& r, const std::vector<Attribute>& attrs);
+StatusOr<Relation> Project(const Relation& r,
+                           const std::vector<Attribute>& attrs,
+                           const ExecContext& ctx = {});
 
 // Projection with renaming: output column i is named `out[i]`, sourced
 // from `src[i]`. Virtual attributes are dropped (renamed outputs no longer
 // correspond to base-relation provenance).
-Relation ProjectAs(const Relation& r, const std::vector<Attribute>& src,
-                   const std::vector<Attribute>& out);
+StatusOr<Relation> ProjectAs(const Relation& r,
+                             const std::vector<Attribute>& src,
+                             const std::vector<Attribute>& out,
+                             const ExecContext& ctx = {});
 
-Relation InnerJoin(const Relation& a, const Relation& b, const Predicate& p);
-Relation LeftOuterJoin(const Relation& a, const Relation& b,
-                       const Predicate& p);
-Relation RightOuterJoin(const Relation& a, const Relation& b,
-                        const Predicate& p);
-Relation FullOuterJoin(const Relation& a, const Relation& b,
-                       const Predicate& p);
+StatusOr<Relation> InnerJoin(const Relation& a, const Relation& b,
+                             const Predicate& p, const ExecContext& ctx = {});
+StatusOr<Relation> LeftOuterJoin(const Relation& a, const Relation& b,
+                                 const Predicate& p,
+                                 const ExecContext& ctx = {});
+StatusOr<Relation> RightOuterJoin(const Relation& a, const Relation& b,
+                                  const Predicate& p,
+                                  const ExecContext& ctx = {});
+StatusOr<Relation> FullOuterJoin(const Relation& a, const Relation& b,
+                                 const Predicate& p,
+                                 const ExecContext& ctx = {});
 // r_a |> r_b : tuples of a with no match in b (schema of a).
-Relation AntiJoin(const Relation& a, const Relation& b, const Predicate& p);
+StatusOr<Relation> AntiJoin(const Relation& a, const Relation& b,
+                            const Predicate& p, const ExecContext& ctx = {});
 // Tuples of a with at least one match in b (schema of a).
-Relation SemiJoin(const Relation& a, const Relation& b, const Predicate& p);
+StatusOr<Relation> SemiJoin(const Relation& a, const Relation& b,
+                            const Predicate& p, const ExecContext& ctx = {});
 
 // Outer union (paper §1.2): schema is the union of schemas (matched by
 // qualified attribute name); rows padded with NULLs for missing attributes.
-Relation OuterUnion(const Relation& a, const Relation& b);
+StatusOr<Relation> OuterUnion(const Relation& a, const Relation& b,
+                              const ExecContext& ctx = {});
 
 // Generalized selection sigma*_p[groups](r), Definition 2.1:
 //   E' = sigma_p(r)  (+)_i  ( pi_{Ri,Vi}(r) - pi_{Ri,Vi}(sigma_p(r)) )
 // Each group names the base relations of one preserved r_i; groups must be
 // pairwise disjoint. The result has r's schema; resurrected tuples keep the
 // group's columns/row-ids and are NULL elsewhere.
-Relation GeneralizedSelection(const Relation& r, const Predicate& p,
-                              const std::vector<PreservedGroup>& groups);
+StatusOr<Relation> GeneralizedSelection(
+    const Relation& r, const Predicate& p,
+    const std::vector<PreservedGroup>& groups, const ExecContext& ctx = {});
 
 // MGOJ[groups, p](a, b): binary modified generalized outer join; equal to
 // GeneralizedSelection(Product(a, b), p, groups) but avoids materializing
 // the product.
-Relation Mgoj(const Relation& a, const Relation& b, const Predicate& p,
-              const std::vector<PreservedGroup>& groups);
+StatusOr<Relation> Mgoj(const Relation& a, const Relation& b,
+                        const Predicate& p,
+                        const std::vector<PreservedGroup>& groups,
+                        const ExecContext& ctx = {});
 
 }  // namespace gsopt::exec
 

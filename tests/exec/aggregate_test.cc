@@ -52,7 +52,7 @@ int64_t GroupValue(const Relation& r, int64_t k) {
 }
 
 TEST(GeneralizedProjectionTest, CountStarCountsRows) {
-  Relation g = GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kCountStar)));
+  Relation g = *GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kCountStar)));
   EXPECT_EQ(g.NumRows(), 3);
   EXPECT_EQ(GroupValue(g, 1), 2);
   EXPECT_EQ(GroupValue(g, 2), 2);
@@ -60,29 +60,29 @@ TEST(GeneralizedProjectionTest, CountStarCountsRows) {
 }
 
 TEST(GeneralizedProjectionTest, CountColumnSkipsNulls) {
-  Relation g = GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kCount)));
+  Relation g = *GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kCount)));
   EXPECT_EQ(GroupValue(g, 1), 2);
   EXPECT_EQ(GroupValue(g, 2), 1);
   EXPECT_EQ(GroupValue(g, 3), 0);  // all inputs NULL -> COUNT = 0
 }
 
 TEST(GeneralizedProjectionTest, SumSkipsNullsAndEmptyIsNull) {
-  Relation g = GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kSum)));
+  Relation g = *GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kSum)));
   EXPECT_EQ(GroupValue(g, 1), 30);
   EXPECT_EQ(GroupValue(g, 2), 5);
   EXPECT_EQ(GroupValue(g, 3), -999);  // SUM over all-NULL group is NULL
 }
 
 TEST(GeneralizedProjectionTest, MinMax) {
-  Relation gmin = GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kMin)));
-  Relation gmax = GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kMax)));
+  Relation gmin = *GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kMin)));
+  Relation gmax = *GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kMax)));
   EXPECT_EQ(GroupValue(gmin, 1), 10);
   EXPECT_EQ(GroupValue(gmax, 1), 20);
   EXPECT_EQ(GroupValue(gmin, 3), -999);  // NULL
 }
 
 TEST(GeneralizedProjectionTest, Avg) {
-  Relation g = GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kAvg)));
+  Relation g = *GeneralizedProjection(Sales(), ByK(Agg(AggFunc::kAvg)));
   for (const Tuple& t : g.rows()) {
     if (t.values[0].AsInt() == 1) {
       EXPECT_DOUBLE_EQ(t.values[1].AsDouble(), 15.0);
@@ -94,7 +94,7 @@ TEST(GeneralizedProjectionTest, CountDistinct) {
   Relation r = MakeRelation("s", {"k", "v"},
                             {{I(1), I(7)}, {I(1), I(7)}, {I(1), I(8)}});
   Relation g =
-      GeneralizedProjection(r, ByK(Agg(AggFunc::kCount, /*distinct=*/true)));
+      *GeneralizedProjection(r, ByK(Agg(AggFunc::kCount, /*distinct=*/true)));
   EXPECT_EQ(GroupValue(g, 1), 2);
 }
 
@@ -102,14 +102,14 @@ TEST(GeneralizedProjectionTest, SumDistinct) {
   Relation r = MakeRelation("s", {"k", "v"},
                             {{I(1), I(7)}, {I(1), I(7)}, {I(1), I(8)}});
   Relation g =
-      GeneralizedProjection(r, ByK(Agg(AggFunc::kSum, /*distinct=*/true)));
+      *GeneralizedProjection(r, ByK(Agg(AggFunc::kSum, /*distinct=*/true)));
   EXPECT_EQ(GroupValue(g, 1), 15);
 }
 
 TEST(GeneralizedProjectionTest, NullGroupKeysFormOneGroup) {
   // SQL GROUP BY treats NULLs as equal.
   Relation r = MakeRelation("s", {"k", "v"}, {{N(), I(1)}, {N(), I(2)}});
-  Relation g = GeneralizedProjection(r, ByK(Agg(AggFunc::kCountStar)));
+  Relation g = *GeneralizedProjection(r, ByK(Agg(AggFunc::kCountStar)));
   EXPECT_EQ(g.NumRows(), 1);
   EXPECT_EQ(g.row(0).values[1].AsInt(), 2);
 }
@@ -119,7 +119,7 @@ TEST(GeneralizedProjectionTest, NoAggregatesIsSelectDistinct) {
                             {{I(1), I(9)}, {I(1), I(8)}, {I(2), I(7)}});
   GroupBySpec spec;
   spec.group_cols = {Attribute{"s", "k"}};
-  Relation g = GeneralizedProjection(r, spec);
+  Relation g = *GeneralizedProjection(r, spec);
   EXPECT_EQ(g.NumRows(), 2);
   EXPECT_EQ(g.schema().size(), 1);
 }
@@ -136,7 +136,7 @@ TEST(GeneralizedProjectionTest, GroupOnVirtualAttributeKeepsBaseRows) {
   cnt.out_rel = "q";
   cnt.out_name = "c";
   spec.aggs = {cnt};
-  Relation g = GeneralizedProjection(r3, spec);
+  Relation g = *GeneralizedProjection(r3, spec);
   EXPECT_EQ(g.NumRows(), 2);  // virtual attr separates the duplicates
   // r3's grouping vid plus the synthetic per-group vid under "q".
   EXPECT_EQ(g.vschema().size(), 2);
@@ -153,7 +153,7 @@ TEST(GeneralizedProjectionTest, CountOverOuterJoinPaddingIsZero) {
   Relation a = MakeRelation("a", {"k"}, {{I(1)}, {I(2)}});
   Relation b = MakeRelation("b", {"k"}, {{I(1)}, {I(1)}});
   Predicate p(MakeAtom("a", "k", CmpOp::kEq, "b", "k"));
-  Relation loj = exec::LeftOuterJoin(a, b, p);
+  Relation loj = *exec::LeftOuterJoin(a, b, p);
   GroupBySpec spec;
   spec.group_cols = {Attribute{"a", "k"}};
   AggSpec cnt;
@@ -162,7 +162,7 @@ TEST(GeneralizedProjectionTest, CountOverOuterJoinPaddingIsZero) {
   cnt.out_rel = "q";
   cnt.out_name = "c";
   spec.aggs = {cnt};
-  Relation g = GeneralizedProjection(loj, spec);
+  Relation g = *GeneralizedProjection(loj, spec);
   EXPECT_EQ(g.NumRows(), 2);
   for (const Tuple& t : g.rows()) {
     int64_t k = t.values[0].AsInt();
@@ -179,7 +179,7 @@ TEST(GeneralizedProjectionTest, MultipleAggregates) {
   AggSpec c2 = Agg(AggFunc::kSum);
   c2.out_name = "total";
   spec.aggs = {c1, c2};
-  Relation g = GeneralizedProjection(Sales(), spec);
+  Relation g = *GeneralizedProjection(Sales(), spec);
   EXPECT_EQ(g.schema().size(), 3);
   EXPECT_EQ(g.NumRows(), 3);
 }

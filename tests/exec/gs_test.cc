@@ -35,30 +35,30 @@ Predicate EqX() {
 // --- Definition 2.1 basics -------------------------------------------------
 
 TEST(GeneralizedSelectionTest, NoGroupsIsPlainSelection) {
-  Relation p = Product(RA(), RB());
-  Relation gs = GeneralizedSelection(p, EqX(), {});
-  EXPECT_TRUE(Relation::BagEquals(gs, Select(p, EqX())));
+  Relation p = *Product(RA(), RB());
+  Relation gs = *GeneralizedSelection(p, EqX(), {});
+  EXPECT_TRUE(Relation::BagEquals(gs, *Select(p, EqX())));
 }
 
 TEST(GeneralizedSelectionTest, JoinIsGsOnProductWithNoPreserved) {
   // r1 JOIN_p r2 == sigma*_p[](r1 x r2)
-  Relation gs = GeneralizedSelection(Product(RA(), RB()), EqX(), {});
-  EXPECT_TRUE(Relation::BagEquals(gs, InnerJoin(RA(), RB(), EqX())));
+  Relation gs = *GeneralizedSelection(*Product(RA(), RB()), EqX(), {});
+  EXPECT_TRUE(Relation::BagEquals(gs, *InnerJoin(RA(), RB(), EqX())));
 }
 
 TEST(GeneralizedSelectionTest, LojIsGsOnProductPreservingLeft) {
   // r1 LOJ_p r2 == sigma*_p[r1](r1 x r2) (non-empty inputs)
   Relation gs =
-      GeneralizedSelection(Product(RA(), RB()), EqX(), {PreservedGroup{"ra"}});
-  EXPECT_TRUE(Relation::BagEquals(gs, LeftOuterJoin(RA(), RB(), EqX())));
+      *GeneralizedSelection(*Product(RA(), RB()), EqX(), {PreservedGroup{"ra"}});
+  EXPECT_TRUE(Relation::BagEquals(gs, *LeftOuterJoin(RA(), RB(), EqX())));
 }
 
 TEST(GeneralizedSelectionTest, FojIsGsOnProductPreservingBoth) {
   // r1 FOJ_p r2 == sigma*_p[r1, r2](r1 x r2) (non-empty inputs)
-  Relation gs = GeneralizedSelection(
-      Product(RA(), RB()), EqX(),
+  Relation gs = *GeneralizedSelection(
+      *Product(RA(), RB()), EqX(),
       {PreservedGroup{"ra"}, PreservedGroup{"rb"}});
-  EXPECT_TRUE(Relation::BagEquals(gs, FullOuterJoin(RA(), RB(), EqX())));
+  EXPECT_TRUE(Relation::BagEquals(gs, *FullOuterJoin(RA(), RB(), EqX())));
 }
 
 TEST(GeneralizedSelectionTest, DuplicatePreservedTuplesResurrectOncePerRowId) {
@@ -66,7 +66,7 @@ TEST(GeneralizedSelectionTest, DuplicatePreservedTuplesResurrectOncePerRowId) {
   // against a never-true predicate must resurrect BOTH duplicates: the
   // paper's pi_{Ri,Vi} projection includes virtual attributes.
   Predicate never(MakeConstAtom("ra", "x", CmpOp::kLt, I(0)));
-  Relation gs = GeneralizedSelection(Product(RA(), RB()), never,
+  Relation gs = *GeneralizedSelection(*Product(RA(), RB()), never,
                                      {PreservedGroup{"ra"}});
   EXPECT_EQ(gs.NumRows(), 4);
 }
@@ -76,8 +76,8 @@ TEST(GeneralizedSelectionTest, EmptyProductEdgeCaseDivergesFromLoj) {
   // LOJ breaks when the null-supplying side is empty, because pi(r1 x {})
   // is empty. The binary operator preserves; the literal GS does not.
   Relation empty = MakeRelation("rb", {"x"}, {});
-  Relation loj = LeftOuterJoin(RA(), empty, EqX());
-  Relation gs = GeneralizedSelection(Product(RA(), empty), EqX(),
+  Relation loj = *LeftOuterJoin(RA(), empty, EqX());
+  Relation gs = *GeneralizedSelection(*Product(RA(), empty), EqX(),
                                      {PreservedGroup{"ra"}});
   EXPECT_EQ(loj.NumRows(), 4);
   EXPECT_EQ(gs.NumRows(), 0);
@@ -87,9 +87,9 @@ TEST(GeneralizedSelectionTest, PreservingCompositeGroup) {
   // Preserve the composite relation {ra, rb} of a 3-way product against a
   // predicate on rc: resurrected tuples keep ra AND rb values together.
   Relation rc = MakeRelation("rc", {"y"}, {{I(1)}});
-  Relation p = Product(Product(RA(), RB()), rc);
+  Relation p = *Product(*Product(RA(), RB()), rc);
   Predicate never(MakeConstAtom("rc", "y", CmpOp::kLt, I(0)));
-  Relation gs = GeneralizedSelection(p, never, {PreservedGroup{"ra", "rb"}});
+  Relation gs = *GeneralizedSelection(p, never, {PreservedGroup{"ra", "rb"}});
   // 4*3 = 12 distinct (ra,rb) combinations resurrected, rc NULL.
   EXPECT_EQ(gs.NumRows(), 12);
   for (const Tuple& t : gs.rows()) {
@@ -100,8 +100,8 @@ TEST(GeneralizedSelectionTest, PreservingCompositeGroup) {
 }
 
 TEST(GeneralizedSelectionTest, SchemaUnchanged) {
-  Relation p = Product(RA(), RB());
-  Relation gs = GeneralizedSelection(p, EqX(), {PreservedGroup{"ra"}});
+  Relation p = *Product(RA(), RB());
+  Relation gs = *GeneralizedSelection(p, EqX(), {PreservedGroup{"ra"}});
   EXPECT_EQ(gs.schema().ToString(), p.schema().ToString());
   EXPECT_TRUE(gs.vschema() == p.vschema());
 }
@@ -124,8 +124,8 @@ TEST(MgojTest, MatchesGsOnProductRandomized) {
              {PreservedGroup{"s1"}},
              {PreservedGroup{"s2"}},
              {PreservedGroup{"s1"}, PreservedGroup{"s2"}}}) {
-      Relation m = Mgoj(a, b, p, groups);
-      Relation g = GeneralizedSelection(Product(a, b), p, groups);
+      Relation m = *Mgoj(a, b, p, groups);
+      Relation g = *GeneralizedSelection(*Product(a, b), p, groups);
       EXPECT_TRUE(Relation::BagEquals(m, g))
           << "trial " << trial << " groups " << groups.size();
     }
@@ -133,23 +133,23 @@ TEST(MgojTest, MatchesGsOnProductRandomized) {
 }
 
 TEST(MgojTest, NoGroupsIsInnerJoin) {
-  Relation m = Mgoj(RA(), RB(), EqX(), {});
-  EXPECT_TRUE(Relation::BagEquals(m, InnerJoin(RA(), RB(), EqX())));
+  Relation m = *Mgoj(RA(), RB(), EqX(), {});
+  EXPECT_TRUE(Relation::BagEquals(m, *InnerJoin(RA(), RB(), EqX())));
 }
 
 TEST(MgojTest, PreservesLeftAcrossEmptyRight) {
   // Binary-operator semantics: preservation applies even with an empty
   // other side (unlike the literal product formulation).
   Relation empty = MakeRelation("rb", {"x"}, {});
-  Relation m = Mgoj(RA(), empty, EqX(), {PreservedGroup{"ra"}});
+  Relation m = *Mgoj(RA(), empty, EqX(), {PreservedGroup{"ra"}});
   EXPECT_TRUE(
-      Relation::BagEquals(m, LeftOuterJoin(RA(), empty, EqX())));
+      Relation::BagEquals(m, *LeftOuterJoin(RA(), empty, EqX())));
 }
 
 TEST(MgojTest, FullPreservationEqualsFoj) {
-  Relation m = Mgoj(RA(), RB(), EqX(),
+  Relation m = *Mgoj(RA(), RB(), EqX(),
                     {PreservedGroup{"ra"}, PreservedGroup{"rb"}});
-  EXPECT_TRUE(Relation::BagEquals(m, FullOuterJoin(RA(), RB(), EqX())));
+  EXPECT_TRUE(Relation::BagEquals(m, *FullOuterJoin(RA(), RB(), EqX())));
 }
 
 // --- Paper Example 2.1 (experiment E1) --------------------------------------
@@ -176,7 +176,7 @@ TEST(PaperExample21, T1AsWritten) {
   Example21 ex;
   // T1 = (r1 LOJ_p12 r2) LOJ_{p13 ^ p23} r3  -- three rows, exactly as the
   // paper's table T1.
-  Relation t1 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t1 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               Predicate::And(ex.p13, ex.p23));
   EXPECT_EQ(t1.NumRows(), 3);
   Relation expected = t1;  // verify row-by-row below instead
@@ -195,9 +195,9 @@ TEST(PaperExample21, T1AsWritten) {
 
 TEST(PaperExample21, T2BreaksWithoutCompensation) {
   Example21 ex;
-  Relation t2 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t2 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               ex.p23);
-  Relation t1 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t1 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               Predicate::And(ex.p13, ex.p23));
   // Dropping p13 from the outer join changes the result (t2 over-matches).
   EXPECT_FALSE(Relation::BagEquals(t1, t2));
@@ -206,25 +206,25 @@ TEST(PaperExample21, T2BreaksWithoutCompensation) {
 
 TEST(PaperExample21, GsCompensationRecoversT1) {
   Example21 ex;
-  Relation t2 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t2 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               ex.p23);
-  Relation t1 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t1 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               Predicate::And(ex.p13, ex.p23));
   // sigma*_{p13}[r1 r2](T2) == T1: the paper's headline compensation.
   Relation fixed =
-      GeneralizedSelection(t2, ex.p13, {PreservedGroup{"r1", "r2"}});
+      *GeneralizedSelection(t2, ex.p13, {PreservedGroup{"r1", "r2"}});
   EXPECT_TRUE(Relation::BagEquals(fixed, t1));
 }
 
 TEST(PaperExample21, WrongPreservedSetDoesNotRecoverT1) {
   Example21 ex;
-  Relation t2 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t2 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               ex.p23);
-  Relation t1 = LeftOuterJoin(LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
+  Relation t1 = *LeftOuterJoin(*LeftOuterJoin(ex.r1, ex.r2, ex.p12), ex.r3,
                               Predicate::And(ex.p13, ex.p23));
   // Preserving only r1 (instead of the composite r1r2) loses r2 values on
   // resurrected tuples -- the preserved-set computation matters.
-  Relation wrong = GeneralizedSelection(t2, ex.p13, {PreservedGroup{"r1"}});
+  Relation wrong = *GeneralizedSelection(t2, ex.p13, {PreservedGroup{"r1"}});
   EXPECT_FALSE(Relation::BagEquals(wrong, t1));
 }
 

@@ -13,7 +13,7 @@ Value I(int64_t v) { return Value::Int(v); }
 
 TEST(ProjectAsTest, RenamesColumnsAndDropsVids) {
   Relation r = MakeRelation("t", {"x", "y"}, {{I(1), I(2)}, {I(3), I(4)}});
-  Relation out = exec::ProjectAs(r, {Attribute{"t", "y"}, Attribute{"t", "x"}},
+  Relation out = *exec::ProjectAs(r, {Attribute{"t", "y"}, Attribute{"t", "x"}},
                                  {Attribute{"q", "a"}, Attribute{"q", "b"}});
   EXPECT_EQ(out.schema().ToString(), "(q.a, q.b)");
   EXPECT_EQ(out.vschema().size(), 0);
@@ -25,7 +25,7 @@ TEST(ProjectAsTest, PreservesDuplicates) {
   Relation r = MakeRelation("t", {"x", "y"},
                             {{I(1), I(2)}, {I(1), I(9)}, {I(1), I(2)}});
   Relation out =
-      exec::ProjectAs(r, {Attribute{"t", "x"}}, {Attribute{"q", "x"}});
+      *exec::ProjectAs(r, {Attribute{"t", "x"}}, {Attribute{"q", "x"}});
   EXPECT_EQ(out.NumRows(), 3);
 }
 
@@ -44,14 +44,14 @@ TEST(ProjectNodeTest, RenamingThroughExecute) {
 TEST(ProjectTest, VirtualSchemaOnlyForFullyCoveredRelations) {
   Relation a = MakeRelation("a", {"x"}, {{I(1)}});
   Relation b = MakeRelation("b", {"y", "z"}, {{I(2), I(3)}});
-  Relation ab = exec::Product(a, b);
+  Relation ab = *exec::Product(a, b);
   // Keep a.x and b.y: both relations contribute at least one column, so
   // both vids survive (provenance is per relation, not per column).
   Relation p1 =
-      exec::Project(ab, {Attribute{"a", "x"}, Attribute{"b", "y"}});
+      *exec::Project(ab, {Attribute{"a", "x"}, Attribute{"b", "y"}});
   EXPECT_EQ(p1.vschema().size(), 2);
   // Keep only a.x: b's vid disappears.
-  Relation p2 = exec::Project(ab, {Attribute{"a", "x"}});
+  Relation p2 = *exec::Project(ab, {Attribute{"a", "x"}});
   EXPECT_EQ(p2.vschema().size(), 1);
   EXPECT_EQ(p2.vschema().rel(0), "a");
 }
@@ -61,11 +61,11 @@ TEST(ProjectTest, GsAfterProjectUsesSurvivingProvenance) {
   // different row ids) must still resurrect individually.
   Relation a = MakeRelation("a", {"x"}, {{I(5)}, {I(5)}});
   Relation b = MakeRelation("b", {"x"}, {{I(9)}});
-  Relation ab = exec::Product(a, b);
+  Relation ab = *exec::Product(a, b);
   Relation proj =
-      exec::Project(ab, {Attribute{"a", "x"}, Attribute{"b", "x"}});
+      *exec::Project(ab, {Attribute{"a", "x"}, Attribute{"b", "x"}});
   Predicate never(MakeConstAtom("b", "x", CmpOp::kLt, I(0)));
-  Relation gs = exec::GeneralizedSelection(proj, never,
+  Relation gs = *exec::GeneralizedSelection(proj, never,
                                            {exec::PreservedGroup{"a"}});
   EXPECT_EQ(gs.NumRows(), 2);  // one resurrection per a-row id
 }

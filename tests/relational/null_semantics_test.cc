@@ -46,7 +46,7 @@ TEST(IsNullAtomTest, ToStringAndSelect) {
   Relation r = MakeRelation("t", {"x"}, {{I(1)}, {N()}, {I(2)}});
   Atom a = MakeIsNullAtom("t", "x", false);
   EXPECT_EQ(a.ToString(), "t.x IS NULL");
-  Relation s = exec::Select(r, Predicate(a));
+  Relation s = *exec::Select(r, Predicate(a));
   EXPECT_EQ(s.NumRows(), 1);
 }
 
