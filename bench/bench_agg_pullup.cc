@@ -6,6 +6,8 @@
 // it may be beneficial to perform this join first").
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "algebra/execute.h"
 #include "base/rng.h"
 #include "core/optimizer.h"
@@ -97,4 +99,4 @@ BENCHMARK(BM_Query1Optimized)->Apply(Grid)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_agg_pullup);

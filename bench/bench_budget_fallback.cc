@@ -9,6 +9,8 @@
 //      with a deadline far below what the search needs.
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include <chrono>
 #include <string>
 
@@ -109,4 +111,4 @@ BENCHMARK(BM_FallbackLadder)
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_budget_fallback);

@@ -7,6 +7,8 @@
 // the ratio of the two benchmark entries).
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "algebra/execute.h"
 #include "base/rng.h"
 #include "core/optimizer.h"
@@ -112,4 +114,4 @@ BENCHMARK(BM_Optimized)->Apply(Grid)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_example11_supplier);

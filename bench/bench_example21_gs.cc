@@ -6,6 +6,8 @@
 // plan space at acceptable operator cost.
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "base/check.h"
 #include "base/rng.h"
 #include "exec/eval.h"
@@ -90,4 +92,4 @@ BENCHMARK(BM_CompensationMatchesT1)->SIZES;
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_example21_gs);

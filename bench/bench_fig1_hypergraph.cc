@@ -5,6 +5,8 @@
 // shows that one-time cost.
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "algebra/node.h"
 #include "hypergraph/analysis.h"
 #include "hypergraph/build.h"
@@ -76,4 +78,4 @@ BENCHMARK(BM_Acyclicity)->DenseRange(2, 14, 4);
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_fig1_hypergraph);

@@ -5,6 +5,8 @@
 // Counters: plans (frontier size), best_cost, aswritten_cost.
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "base/rng.h"
 #include "core/optimizer.h"
 #include "enumerate/random_query.h"
@@ -78,4 +80,4 @@ BENCHMARK(BM_BinaryOnlyPruned)->DenseRange(3, 7, 1)->Unit(benchmark::kMillisecon
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_optimizer_dp);

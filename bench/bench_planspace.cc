@@ -5,6 +5,8 @@
 // time. Counters: trees, plans.
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "algebra/node.h"
 #include "enumerate/enumerator.h"
 #include "hypergraph/build.h"
@@ -106,4 +108,4 @@ BENCHMARK(BM_Mixed)->Apply(Sizes)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_planspace);

@@ -5,6 +5,8 @@
 // unnesting flattens it; reordering helps when r1 dominates.
 #include <benchmark/benchmark.h>
 
+#include "report.h"
+
 #include "algebra/execute.h"
 #include "base/rng.h"
 #include "core/optimizer.h"
@@ -107,4 +109,4 @@ BENCHMARK(BM_UnnestedReordered)->R1SIZES;
 }  // namespace
 }  // namespace gsopt
 
-BENCHMARK_MAIN();
+GSOPT_BENCH_MAIN(bench_query23_unnest);

@@ -6,7 +6,9 @@
 #include <cstdio>
 
 #include "algebra/execute.h"
+#include "algebra/explain.h"
 #include "base/rng.h"
+#include "core/optimizer.h"
 #include "enumerate/enumerator.h"
 #include "hypergraph/analysis.h"
 #include "hypergraph/build.h"
@@ -123,5 +125,22 @@ int main() {
   }
   std::printf("\nexecution check on random data: %d/%d plans equivalent\n",
               ok, ok + bad);
+
+  // EXPLAIN ANALYZE of the optimizer's chosen plan on the same data:
+  // per-operator actual rows and timings joined against the cost model's
+  // estimates (q = estimation error), plus the search-work counters.
+  QueryOptimizer opt(cat);
+  auto best = opt.Optimize(q4);
+  if (best.ok()) {
+    std::printf("\nEXPLAIN ANALYZE of the chosen plan (rung=%s; %s):\n",
+                FallbackRungName(best->degradation.rung).c_str(),
+                best->counters.ToString().c_str());
+    auto analyzed = ExplainAnalyze(best->best.expr, cat, opt.cost_model());
+    if (analyzed.ok()) {
+      std::printf("%s", analyzed->text.c_str());
+    } else {
+      std::printf("  %s\n", analyzed.status().ToString().c_str());
+    }
+  }
   return bad == 0 ? 0 : 1;
 }

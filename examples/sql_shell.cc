@@ -3,6 +3,7 @@
 //   $ ./sql_shell data1.csv data2.csv ...
 //   gsopt> SELECT * FROM data1 LEFT JOIN data2 ON data1.k = data2.k
 //   gsopt> \explain SELECT ...
+//   gsopt> \analyze SELECT ...       (EXPLAIN ANALYZE: execute + actuals)
 //   gsopt> \plans  SELECT ...        (enumerate the full plan space)
 //   gsopt> \timeout 250              (per-query budget in ms; 0 = off)
 //   gsopt> \tables
@@ -43,8 +44,9 @@ std::string BaseName(const std::string& path) {
   return name;
 }
 
-void RunQuery(const std::string& text, const Catalog& cat, bool explain,
-              bool show_plans) {
+enum class QueryMode { kExecute, kExplain, kAnalyze, kPlans };
+
+void RunQuery(const std::string& text, const Catalog& cat, QueryMode mode) {
   auto tree = sql::ParseAndBind(text, cat);
   if (!tree.ok()) {
     std::printf("error: %s\n", tree.status().ToString().c_str());
@@ -55,7 +57,7 @@ void RunQuery(const std::string& text, const Catalog& cat, bool explain,
     budget.WithDeadlineAfter(std::chrono::milliseconds(g_timeout_ms));
   }
   QueryOptimizer opt(cat);
-  if (show_plans) {
+  if (mode == QueryMode::kPlans) {
     OptimizeOptions oo;
     oo.prune = false;
     if (g_timeout_ms > 0) oo.budget = &budget;
@@ -82,7 +84,7 @@ void RunQuery(const std::string& text, const Catalog& cat, bool explain,
     std::printf("warning: degraded under budget (%s)\n",
                 result->degradation.ToString().c_str());
   }
-  if (explain) {
+  if (mode == QueryMode::kExplain) {
     std::printf("%zu plans considered; chosen (cost %.0f, as-written %.0f):\n",
                 result->plans_considered, result->best.cost,
                 result->original_cost);
@@ -97,6 +99,20 @@ void RunQuery(const std::string& text, const Catalog& cat, bool explain,
   if (g_timeout_ms > 0) {
     exec_budget.WithDeadlineAfter(std::chrono::milliseconds(g_timeout_ms));
     xo.budget = &exec_budget;
+  }
+  if (mode == QueryMode::kAnalyze) {
+    std::printf("optimizer: rung=%s %s\n",
+                FallbackRungName(result->degradation.rung).c_str(),
+                result->counters.ToString().c_str());
+    auto analyzed = ExplainAnalyze(result->best.expr, cat, opt.cost_model(),
+                                   xo);
+    if (!analyzed.ok()) {
+      std::printf("error: %s\n", analyzed.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s(%d rows)\n", analyzed->text.c_str(),
+                analyzed->result.NumRows());
+    return;
   }
   auto rel = Execute(result->best.expr, cat, xo);
   if (!rel.ok()) {
@@ -145,11 +161,13 @@ int main(int argc, char** argv) {
         std::printf("per-query budget disabled\n");
       }
     } else if (line.rfind("\\explain ", 0) == 0) {
-      RunQuery(line.substr(9), cat, /*explain=*/true, /*show_plans=*/false);
+      RunQuery(line.substr(9), cat, QueryMode::kExplain);
+    } else if (line.rfind("\\analyze ", 0) == 0) {
+      RunQuery(line.substr(9), cat, QueryMode::kAnalyze);
     } else if (line.rfind("\\plans ", 0) == 0) {
-      RunQuery(line.substr(7), cat, /*explain=*/false, /*show_plans=*/true);
+      RunQuery(line.substr(7), cat, QueryMode::kPlans);
     } else if (!line.empty()) {
-      RunQuery(line, cat, /*explain=*/false, /*show_plans=*/false);
+      RunQuery(line, cat, QueryMode::kExecute);
     }
     std::printf("gsopt> ");
     std::fflush(stdout);

@@ -1,28 +1,50 @@
 #include "algebra/execute.h"
 
+#include <chrono>
+
 #include "exec/aggregate.h"
 #include "exec/eval.h"
 
 namespace gsopt {
 
-StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
-                           const ExecuteOptions& options) {
-  if (node == nullptr) return Status::InvalidArgument("null plan node");
-  exec::ExecContext ctx{options.budget};
-  if (options.budget != nullptr) {
-    GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("execute"));
-  }
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string StatsLabel(const Node& n) {
+  if (n.kind() == OpKind::kLeaf) return "scan " + n.table();
+  return OpKindName(n.kind());
+}
+
+StatusOr<Relation> ExecuteNode(const NodePtr& node, const Catalog& catalog,
+                               const ExecuteOptions& options,
+                               exec::OperatorStats* stats);
+
+// Executes one child under its own stats node (appended in child order, so
+// the stats tree mirrors the plan tree shape exactly).
+StatusOr<Relation> ExecuteChild(const NodePtr& child, const Catalog& catalog,
+                                const ExecuteOptions& options,
+                                exec::OperatorStats* stats) {
+  exec::OperatorStats* cs =
+      stats == nullptr ? nullptr : stats->AddChild(std::string());
+  return ExecuteNode(child, catalog, options, cs);
+}
+
+StatusOr<Relation> Dispatch(const NodePtr& node, const Catalog& catalog,
+                            const ExecuteOptions& options,
+                            const exec::ExecContext& ctx,
+                            exec::OperatorStats* stats) {
   switch (node->kind()) {
     case OpKind::kLeaf:
       return catalog.Get(node->table());
     case OpKind::kSelect: {
-      GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog, options));
+      GSOPT_ASSIGN_OR_RETURN(
+          Relation child, ExecuteChild(node->left(), catalog, options, stats));
       return exec::Select(child, node->pred(), ctx);
     }
     case OpKind::kProject: {
-      GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog, options));
+      GSOPT_ASSIGN_OR_RETURN(
+          Relation child, ExecuteChild(node->left(), catalog, options, stats));
       if (node->projection_out() != node->projection()) {
         return exec::ProjectAs(child, node->projection(),
                                node->projection_out(), ctx);
@@ -30,21 +52,23 @@ StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
       return exec::Project(child, node->projection(), ctx);
     }
     case OpKind::kGeneralizedSelection: {
-      GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog, options));
+      GSOPT_ASSIGN_OR_RETURN(
+          Relation child, ExecuteChild(node->left(), catalog, options, stats));
       return exec::GeneralizedSelection(child, node->pred(), node->groups(),
                                         ctx);
     }
     case OpKind::kGroupBy: {
-      GSOPT_ASSIGN_OR_RETURN(Relation child,
-                             Execute(node->left(), catalog, options));
+      GSOPT_ASSIGN_OR_RETURN(
+          Relation child, ExecuteChild(node->left(), catalog, options, stats));
       return exec::GeneralizedProjection(child, node->groupby(), ctx);
     }
     default:
       break;
   }
-  GSOPT_ASSIGN_OR_RETURN(Relation l, Execute(node->left(), catalog, options));
-  GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(node->right(), catalog, options));
+  GSOPT_ASSIGN_OR_RETURN(Relation l,
+                         ExecuteChild(node->left(), catalog, options, stats));
+  GSOPT_ASSIGN_OR_RETURN(Relation r,
+                         ExecuteChild(node->right(), catalog, options, stats));
   switch (node->kind()) {
     case OpKind::kInnerJoin:
       return exec::InnerJoin(l, r, node->pred(), ctx);
@@ -66,10 +90,43 @@ StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
   }
 }
 
+StatusOr<Relation> ExecuteNode(const NodePtr& node, const Catalog& catalog,
+                               const ExecuteOptions& options,
+                               exec::OperatorStats* stats) {
+  if (node == nullptr) return Status::InvalidArgument("null plan node");
+  if (options.budget != nullptr) {
+    GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("execute"));
+  }
+  exec::ExecContext ctx{options.budget, stats};
+  Clock::time_point start;
+  if (stats != nullptr) {
+    stats->op = StatsLabel(*node);
+    start = Clock::now();
+  }
+  StatusOr<Relation> result = Dispatch(node, catalog, options, ctx, stats);
+  if (stats != nullptr && result.ok()) {
+    stats->wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - start);
+    if (node->kind() == OpKind::kLeaf) {
+      // Scans have no kernel to count for them.
+      stats->rows_out = static_cast<uint64_t>(result->NumRows());
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
+                           const ExecuteOptions& options) {
+  return ExecuteNode(node, catalog, options, options.stats);
+}
+
 StatusOr<bool> ExecutionEquivalent(const NodePtr& a, const NodePtr& b,
-                                   const Catalog& catalog) {
-  GSOPT_ASSIGN_OR_RETURN(Relation ra, Execute(a, catalog));
-  GSOPT_ASSIGN_OR_RETURN(Relation rb, Execute(b, catalog));
+                                   const Catalog& catalog,
+                                   const ExecuteOptions& options) {
+  GSOPT_ASSIGN_OR_RETURN(Relation ra, Execute(a, catalog, options));
+  GSOPT_ASSIGN_OR_RETURN(Relation rb, Execute(b, catalog, options));
   return Relation::BagEquals(ra, rb);
 }
 

@@ -6,12 +6,19 @@
 // every row-producing operator checks it cooperatively, returning
 // Status(kResourceExhausted) instead of materializing unbounded
 // intermediate results or overrunning a deadline.
+//
+// Execution is observable: pass ExecuteOptions with an OperatorStats root
+// and the interpreter mirrors the plan tree with a stats tree -- one node
+// per operator, recording rows in/out, wall time and the kernels' hash
+// build/probe counters -- which EXPLAIN ANALYZE (algebra/explain.h) joins
+// against the cost model's estimates.
 #ifndef GSOPT_ALGEBRA_EXECUTE_H_
 #define GSOPT_ALGEBRA_EXECUTE_H_
 
 #include "algebra/node.h"
 #include "base/budget.h"
 #include "base/status.h"
+#include "exec/stats.h"
 #include "relational/catalog.h"
 
 namespace gsopt {
@@ -19,15 +26,21 @@ namespace gsopt {
 struct ExecuteOptions {
   // Optional cooperative budget (deadline / row cap); not owned.
   ResourceBudget* budget = nullptr;
+  // Optional stats collection root (not owned). When set, Execute fills it
+  // for the plan's root operator and appends one child per plan child.
+  exec::OperatorStats* stats = nullptr;
 };
 
 StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
                            const ExecuteOptions& options = {});
 
 // Executes both expressions and compares visible extensions (bag equality
-// over qualified attribute names).
+// over qualified attribute names). Options (budget, stats) apply to both
+// executions, so equivalence checks under a resource budget are governed
+// rather than budget-blind.
 StatusOr<bool> ExecutionEquivalent(const NodePtr& a, const NodePtr& b,
-                                   const Catalog& catalog);
+                                   const Catalog& catalog,
+                                   const ExecuteOptions& options = {});
 
 }  // namespace gsopt
 

@@ -1,6 +1,8 @@
 #include "algebra/explain.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 namespace gsopt {
 
@@ -62,12 +64,86 @@ void Render(const NodePtr& n, const CostModel& model, int depth,
   if (n->right()) Render(n->right(), model, depth + 1, out);
 }
 
+// Joins the cost model's row estimate onto the stats tree. The stats tree
+// mirrors the plan tree by construction (one child per plan child, in
+// order), so a parallel walk lines the two up; a shape mismatch (stats
+// from a different plan) just stops annotating that subtree.
+void AnnotateEstimates(const NodePtr& n, const CostModel& model,
+                       exec::OperatorStats* stats) {
+  stats->est_rows = model.Estimate(n).rows;
+  size_t child = 0;
+  for (const NodePtr* c : {&n->left(), &n->right()}) {
+    if (*c == nullptr) continue;
+    if (child >= stats->children.size()) return;
+    AnnotateEstimates(*c, model, stats->children[child++].get());
+  }
+}
+
+void RenderAnalyze(const NodePtr& n, const exec::OperatorStats& stats,
+                   int depth, std::string* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += OneLine(*n);
+  if (line.size() < 46) line.resize(46, ' ');
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), " est=%-8.0f rows=%-8llu q=%-6.2f time=%.3fms",
+                stats.est_rows,
+                static_cast<unsigned long long>(stats.rows_out),
+                stats.QError(),
+                static_cast<double>(stats.wall.count()) / 1e6);
+  line += buf;
+  if (stats.hash_path) {
+    std::snprintf(buf, sizeof(buf),
+                  " hash{build=%llu probe=%llu maxbucket=%llu nullskip=%llu "
+                  "residual=%llu}",
+                  static_cast<unsigned long long>(stats.build_rows),
+                  static_cast<unsigned long long>(stats.probe_rows),
+                  static_cast<unsigned long long>(stats.max_bucket),
+                  static_cast<unsigned long long>(stats.null_key_skips),
+                  static_cast<unsigned long long>(stats.residual_evals));
+    line += buf;
+  }
+  out->append(line);
+  out->push_back('\n');
+  size_t child = 0;
+  for (const NodePtr* c : {&n->left(), &n->right()}) {
+    if (*c == nullptr) continue;
+    if (child >= stats.children.size()) return;
+    RenderAnalyze(*c, *stats.children[child++], depth + 1, out);
+  }
+}
+
 }  // namespace
 
 std::string Explain(const NodePtr& plan, const CostModel& model) {
   std::string out;
   if (plan == nullptr) return out;
   Render(plan, model, 0, &out);
+  return out;
+}
+
+StatusOr<AnalyzeResult> ExplainAnalyze(const NodePtr& plan,
+                                       const Catalog& catalog,
+                                       const CostModel& model,
+                                       const ExecuteOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  AnalyzeResult out;
+  out.stats = std::make_unique<exec::OperatorStats>();
+  ExecuteOptions xo = options;
+  xo.stats = out.stats.get();
+  GSOPT_ASSIGN_OR_RETURN(out.result, Execute(plan, catalog, xo));
+  AnnotateEstimates(plan, model, out.stats.get());
+  RenderAnalyze(plan, *out.stats, 0, &out.text);
+
+  std::vector<double> qs;
+  exec::CollectQErrors(*out.stats, &qs);
+  if (!qs.empty()) {
+    std::sort(qs.begin(), qs.end());
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "q-error over %zu operators: max=%.2f median=%.2f\n",
+                  qs.size(), qs.back(), qs[qs.size() / 2]);
+    out.text += buf;
+  }
   return out;
 }
 

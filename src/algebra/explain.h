@@ -1,10 +1,14 @@
 // EXPLAIN-style plan rendering: an indented operator tree annotated with
-// the cost model's per-node cardinality and cumulative cost estimates.
+// the cost model's per-node cardinality and cumulative cost estimates --
+// plus EXPLAIN ANALYZE, which executes the plan collecting OperatorStats
+// and joins the estimates against what actually happened.
 #ifndef GSOPT_ALGEBRA_EXPLAIN_H_
 #define GSOPT_ALGEBRA_EXPLAIN_H_
 
+#include <memory>
 #include <string>
 
+#include "algebra/execute.h"
 #include "algebra/node.h"
 #include "optimizer/cost_model.h"
 
@@ -18,6 +22,26 @@ namespace gsopt {
 //         scan r2                       rows=4     cost=4
 //       scan r3                         rows=5     cost=5
 std::string Explain(const NodePtr& plan, const CostModel& model);
+
+// EXPLAIN ANALYZE output: the query answer, the collected stats tree
+// (estimates joined in) and the annotated rendering, e.g.
+//   LOJ[r1.c = r2.c]    est=9 rows=7 q=1.29 time=0.041ms
+//                       hash{build=4 probe=6 maxbucket=2 nullskip=1 ...}
+// followed by a q-error summary line over all estimated operators.
+struct AnalyzeResult {
+  Relation result;
+  std::unique_ptr<exec::OperatorStats> stats;
+  std::string text;
+};
+
+// Executes `plan` against `catalog` with stats collection (honouring
+// options.budget), annotates each operator with the cost model's row
+// estimate and renders the tree. Fails with the execution's status if the
+// plan cannot run (budget exhausted, invalid plan, ...).
+StatusOr<AnalyzeResult> ExplainAnalyze(const NodePtr& plan,
+                                       const Catalog& catalog,
+                                       const CostModel& model,
+                                       const ExecuteOptions& options = {});
 
 }  // namespace gsopt
 

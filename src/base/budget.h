@@ -77,6 +77,10 @@ class ResourceBudget {
   uint64_t max_rows() const { return max_rows_; }
   uint64_t rows_charged() const { return rows_; }
   uint64_t plans_charged() const { return plans_; }
+  // Deadline probes observed so far (only counted while a deadline is
+  // set). An observability counter: regression tests use it to prove hot
+  // loops actually tick at the granularity they claim.
+  uint64_t deadline_checks() const { return tick_; }
 
   // Time until the deadline; zero when expired, kUnlimited-ish large when
   // no deadline is set.

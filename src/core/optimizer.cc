@@ -30,6 +30,17 @@ FallbackRung RungOf(EnumMode m) {
   return FallbackRung::kGeneralized;
 }
 
+std::string OptimizerCounters::ToString() const {
+  std::string s = "subplans=" + std::to_string(subplans_enumerated) +
+                  " dp_cells=" + std::to_string(dp_cells) +
+                  " dp_pruned=" + std::to_string(dp_pruned) +
+                  " plans_considered=" + std::to_string(plans_considered);
+  if (deadline_slack_us >= 0) {
+    s += " deadline_slack_us=" + std::to_string(deadline_slack_us);
+  }
+  return s;
+}
+
 std::string DegradationReport::ToString() const {
   if (!degraded() && attempts.empty()) return "none";
   std::string s = "requested=" + FallbackRungName(requested) +
@@ -97,6 +108,9 @@ StatusOr<PlanSpace> QueryOptimizer::EnumeratePlanSpace(
     auto enumerated = en.Enumerate();
     if (enumerated.ok()) {
       space.truncated = enumerated->truncated;
+      space.counters.subplans_enumerated = enumerated->subplans_emitted;
+      space.counters.dp_cells = enumerated->dp_cells;
+      space.counters.dp_pruned = enumerated->dp_pruned;
       for (const PlanCandidate& c : enumerated->plans) {
         trees.push_back(c.expr);
       }
@@ -123,6 +137,7 @@ StatusOr<PlanSpace> QueryOptimizer::EnumeratePlanSpace(
   // cartesian outer joins) can make EVERY reordered plan worse than the
   // as-written form; the original always stays a candidate.
   space.plans.push_back(PlanInfo{simplified, cost_model_.Cost(simplified)});
+  space.counters.plans_considered = space.plans.size();
   return space;
 }
 
@@ -142,6 +157,14 @@ StatusOr<OptimizeResult> QueryOptimizer::Optimize(
   DegradationReport& deg = result.degradation;
   deg.requested = RungOf(options.mode);
   deg.rung = deg.requested;
+  // Deadline slack is whatever remains when the winning rung returns.
+  auto finish_counters = [&result, &options]() {
+    result.counters.plans_considered = result.plans_considered;
+    if (options.budget != nullptr && options.budget->has_deadline()) {
+      result.counters.deadline_slack_us =
+          options.budget->RemainingTime().count();
+    }
+  };
 
   for (int r = static_cast<int>(deg.requested);
        r <= static_cast<int>(FallbackRung::kSyntactic); ++r) {
@@ -153,6 +176,7 @@ StatusOr<OptimizeResult> QueryOptimizer::Optimize(
       result.best =
           PlanInfo{result.simplified, cost_model_.Cost(result.simplified)};
       result.plans_considered += 1;
+      finish_counters();
       return result;
     }
     OptimizeOptions rung_options = options;
@@ -170,11 +194,18 @@ StatusOr<OptimizeResult> QueryOptimizer::Optimize(
     deg.rung = rung;
     deg.truncated = space->truncated;
     result.plans_considered += space->plans.size();
+    // Search-work counters accumulate across abandoned rungs too, but only
+    // the winning rung's space reaches this point; abandoned rungs died
+    // before producing a space, so summing here is the whole story.
+    result.counters.subplans_enumerated += space->counters.subplans_enumerated;
+    result.counters.dp_cells += space->counters.dp_cells;
+    result.counters.dp_pruned += space->counters.dp_pruned;
     const PlanInfo* best = &space->plans[0];
     for (const PlanInfo& p : space->plans) {
       if (p.cost < best->cost) best = &p;
     }
     result.best = *best;
+    finish_counters();
     return result;
   }
   return Status::Internal("fallback ladder exhausted without a plan");

@@ -71,6 +71,21 @@ struct PlanInfo {
   double cost = 0.0;
 };
 
+// Work counters from the search that produced a plan: how much of the
+// space was explored, how much DP pruning and the plan cap cut, and how
+// close the deadline came. Summed across fallback rungs in Optimize().
+struct OptimizerCounters {
+  size_t subplans_enumerated = 0;  // DP subplans emitted
+  size_t dp_cells = 0;             // DP table cells stored
+  size_t dp_pruned = 0;            // subplans discarded by cost pruning
+  size_t plans_considered = 0;     // complete candidate plans costed
+  // Slack left on the budget's deadline when optimization returned;
+  // negative when no deadline was set.
+  int64_t deadline_slack_us = -1;
+
+  std::string ToString() const;
+};
+
 // How (and whether) resource pressure degraded an optimization.
 struct DegradationReport {
   FallbackRung requested = FallbackRung::kGeneralized;
@@ -92,12 +107,14 @@ struct OptimizeResult {
   double original_cost = 0.0;
   size_t plans_considered = 0;
   DegradationReport degradation;
+  OptimizerCounters counters;
 };
 
 // A costed plan space plus whether enumeration was truncated by a cap.
 struct PlanSpace {
   std::vector<PlanInfo> plans;
   bool truncated = false;
+  OptimizerCounters counters;
 };
 
 class QueryOptimizer {

@@ -433,6 +433,7 @@ StatusOr<EnumerationResult> Enumerator::Enumerate() {
 
   uint64_t full = h_.AllRels().bits();
   size_t total_emitted = 0;
+  size_t total_pruned = 0;
   bool truncated = false;
   // Subsets in increasing popcount order.
   std::vector<uint64_t> subsets;
@@ -497,6 +498,7 @@ StatusOr<EnumerationResult> Enumerator::Enumerate() {
           best[key] = std::move(sp);
         }
       }
+      total_pruned += plans.size() - best.size();
       plans.clear();
       for (auto& [key, sp] : best) plans.push_back(std::move(sp));
     }
@@ -512,6 +514,8 @@ StatusOr<EnumerationResult> Enumerator::Enumerate() {
   EnumerationResult result;
   result.truncated = truncated;
   result.subplans_emitted = total_emitted;
+  result.dp_cells = table.size();
+  result.dp_pruned = total_pruned;
   std::unordered_set<std::string> seen;
   for (const SubPlan& sp : it->second) {
     auto cand = Finalize(sp);

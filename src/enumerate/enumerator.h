@@ -80,6 +80,11 @@ struct EnumerationResult {
   bool truncated = false;
   // Total DP subplans emitted (a work metric, not |plans|).
   size_t subplans_emitted = 0;
+  // DP table cells stored (connected subsets with >= 1 surviving subplan,
+  // singletons included).
+  size_t dp_cells = 0;
+  // Subplans discarded by DP cost pruning (cheapest-per-state).
+  size_t dp_pruned = 0;
 };
 
 class Enumerator {

@@ -191,6 +191,9 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
   std::unordered_map<std::string, Group> groups;
   std::vector<std::string> order;  // first-seen order, for determinism
 
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_in += static_cast<uint64_t>(r.NumRows());
+  }
   for (const Tuple& t : r.rows()) {
     GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
     std::string key = EncodeTupleKey(t, gcol_idx, gvid_idx);
@@ -233,6 +236,9 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
     if (synthetic_vid) t.vids.push_back(group_ordinal++);
     out.Add(std::move(t));
     GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "group-by"));
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_out += static_cast<uint64_t>(out.NumRows());
   }
   return out;
 }

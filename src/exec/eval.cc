@@ -1,5 +1,6 @@
 #include "exec/eval.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -82,24 +83,42 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
   res.out = Relation(out_schema, out_vschema);
   res.a_matched.assign(a.NumRows(), 0);
   res.b_matched.assign(b.NumRows(), 0);
+  OperatorStats* st = ctx.stats;
 
   HashPlan plan = MakeHashPlan(p, a.schema(), b.schema());
   if (plan.usable()) {
+    if (st != nullptr) st->hash_path = true;
     std::unordered_map<std::string, std::vector<int>> table;
     std::string key;
     for (int j = 0; j < b.NumRows(); ++j) {
       if (EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
-        table[key].push_back(j);
+        std::vector<int>& bucket = table[key];
+        bucket.push_back(j);
+        if (st != nullptr) {
+          ++st->build_rows;
+          st->max_bucket = std::max<uint64_t>(st->max_bucket, bucket.size());
+        }
+      } else if (st != nullptr) {
+        ++st->null_key_skips;
       }
     }
     Predicate residual(plan.residual);
     for (int i = 0; i < a.NumRows(); ++i) {
       GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
-      if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) continue;
+      if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) {
+        if (st != nullptr) ++st->null_key_skips;
+        continue;
+      }
+      if (st != nullptr) ++st->probe_rows;
       auto it = table.find(key);
       if (it == table.end()) continue;
       for (int j : it->second) {
+        // Tick inside the bucket-match loop: a skewed key whose bucket
+        // holds most of the build side would otherwise run deadline-blind
+        // between probe rows (the nested-loop path ticks per pair).
+        GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
         Tuple t = Tuple::Concat(a.row(i), b.row(j));
+        if (st != nullptr) ++st->residual_evals;
         if (residual.Satisfied(t, out_schema)) {
           res.a_matched[i] = 1;
           res.b_matched[j] = 1;
@@ -113,6 +132,7 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
       for (int j = 0; j < b.NumRows(); ++j) {
         GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
         Tuple t = Tuple::Concat(a.row(i), b.row(j));
+        if (st != nullptr) ++st->residual_evals;
         if (p.Satisfied(t, out_schema)) {
           res.a_matched[i] = 1;
           res.b_matched[j] = 1;
@@ -121,6 +141,9 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
         }
       }
     }
+  }
+  if (st != nullptr) {
+    st->rows_in += static_cast<uint64_t>(a.NumRows()) + b.NumRows();
   }
   return res;
 }
@@ -165,32 +188,55 @@ Tuple PadGroupTuple(const Tuple& src, const GroupIndex& gi,
   return t;
 }
 
+// Stats helpers: no-ops (one pointer test) when collection is disabled.
+void RecordIn(const ExecContext& ctx, uint64_t n) {
+  if (ctx.stats != nullptr) ctx.stats->rows_in += n;
+}
+void RecordOut(const ExecContext& ctx, const Relation& out) {
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_out += static_cast<uint64_t>(out.NumRows());
+  }
+}
+
 }  // namespace
 
 StatusOr<Relation> Product(const Relation& a, const Relation& b,
                            const ExecContext& ctx) {
   Relation out(Schema::Concat(a.schema(), b.schema()),
                VirtualSchema::Concat(a.vschema(), b.vschema()));
-  out.Reserve(a.NumRows() * b.NumRows());
+  // The exact cross-product cardinality as int*int is signed-overflow UB
+  // past ~46k x 46k, and even a correct full-size reservation would commit
+  // the whole product's memory before the row cap or deadline can fire.
+  // Compute in 64 bits and clamp: past the cap the vector grows normally.
+  constexpr uint64_t kMaxReserve = 1u << 20;
+  uint64_t total = static_cast<uint64_t>(a.NumRows()) *
+                   static_cast<uint64_t>(b.NumRows());
+  out.Reserve(static_cast<int>(std::min(total, kMaxReserve)));
+  RecordIn(ctx, static_cast<uint64_t>(a.NumRows()) + b.NumRows());
   for (const Tuple& ta : a.rows()) {
     for (const Tuple& tb : b.rows()) {
+      GSOPT_RETURN_IF_ERROR(ctx.Tick("product"));
       out.Add(Tuple::Concat(ta, tb));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "product"));
     }
   }
+  RecordOut(ctx, out);
   return out;
 }
 
 StatusOr<Relation> Select(const Relation& r, const Predicate& p,
                           const ExecContext& ctx) {
   Relation out(r.schema(), r.vschema());
+  RecordIn(ctx, r.NumRows());
   for (const Tuple& t : r.rows()) {
     GSOPT_RETURN_IF_ERROR(ctx.Tick("select"));
+    if (ctx.stats != nullptr) ++ctx.stats->residual_evals;
     if (p.Satisfied(t, r.schema())) {
       out.Add(t);
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "select"));
     }
   }
+  RecordOut(ctx, out);
   return out;
 }
 
@@ -223,6 +269,7 @@ StatusOr<Relation> Project(const Relation& r,
   }
   Relation out(schema, vschema);
   out.Reserve(r.NumRows());
+  RecordIn(ctx, r.NumRows());
   for (const Tuple& t : r.rows()) {
     Tuple nt;
     nt.values.reserve(src_idx.size());
@@ -232,6 +279,7 @@ StatusOr<Relation> Project(const Relation& r,
     out.Add(std::move(nt));
     GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "project"));
   }
+  RecordOut(ctx, out);
   return out;
 }
 
@@ -256,6 +304,7 @@ StatusOr<Relation> ProjectAs(const Relation& r,
   }
   Relation result(schema, VirtualSchema());
   result.Reserve(r.NumRows());
+  RecordIn(ctx, r.NumRows());
   for (const Tuple& t : r.rows()) {
     Tuple nt;
     nt.values.reserve(src_idx.size());
@@ -263,12 +312,14 @@ StatusOr<Relation> ProjectAs(const Relation& r,
     result.Add(std::move(nt));
     GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "project-as"));
   }
+  RecordOut(ctx, result);
   return result;
 }
 
 StatusOr<Relation> InnerJoin(const Relation& a, const Relation& b,
                              const Predicate& p, const ExecContext& ctx) {
   GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
+  RecordOut(ctx, core.out);
   return std::move(core.out);
 }
 
@@ -284,6 +335,7 @@ StatusOr<Relation> LeftOuterJoin(const Relation& a, const Relation& b,
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "left-outer-join"));
     }
   }
+  RecordOut(ctx, core.out);
   return std::move(core.out);
 }
 
@@ -299,6 +351,7 @@ StatusOr<Relation> RightOuterJoin(const Relation& a, const Relation& b,
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "right-outer-join"));
     }
   }
+  RecordOut(ctx, core.out);
   return std::move(core.out);
 }
 
@@ -323,6 +376,7 @@ StatusOr<Relation> FullOuterJoin(const Relation& a, const Relation& b,
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "full-outer-join"));
     }
   }
+  RecordOut(ctx, core.out);
   return std::move(core.out);
 }
 
@@ -336,6 +390,7 @@ StatusOr<Relation> AntiJoin(const Relation& a, const Relation& b,
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "anti-join"));
     }
   }
+  RecordOut(ctx, out);
   return out;
 }
 
@@ -349,6 +404,7 @@ StatusOr<Relation> SemiJoin(const Relation& a, const Relation& b,
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "semi-join"));
     }
   }
+  RecordOut(ctx, out);
   return out;
 }
 
@@ -377,6 +433,7 @@ StatusOr<Relation> OuterUnion(const Relation& a, const Relation& b,
   }
   Relation out(schema, vschema);
   out.Reserve(a.NumRows() + b.NumRows());
+  RecordIn(ctx, static_cast<uint64_t>(a.NumRows()) + b.NumRows());
   for (const Tuple& t : a.rows()) {
     Tuple nt;
     nt.values = t.values;
@@ -399,6 +456,7 @@ StatusOr<Relation> OuterUnion(const Relation& a, const Relation& b,
     out.Add(std::move(nt));
     GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "outer-union"));
   }
+  RecordOut(ctx, out);
   return out;
 }
 
@@ -420,7 +478,15 @@ StatusOr<Relation> GeneralizedSelection(
     }
   }
 
-  GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, ctx));
+  // The internal selection pass shares the budget but not the stats node:
+  // GS accounts for its own input/output exactly once and counts the
+  // pass's predicate evaluations itself.
+  ExecContext select_ctx{ctx.budget, nullptr};
+  GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, select_ctx));
+  RecordIn(ctx, r.NumRows());
+  if (ctx.stats != nullptr) {
+    ctx.stats->residual_evals += static_cast<uint64_t>(r.NumRows());
+  }
   Relation out(r.schema(), r.vschema());
   for (const Tuple& t : selected.rows()) out.Add(t);
 
@@ -441,6 +507,7 @@ StatusOr<Relation> GeneralizedSelection(
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "generalized-selection"));
     }
   }
+  RecordOut(ctx, out);
   return out;
 }
 
@@ -510,6 +577,7 @@ StatusOr<Relation> Mgoj(const Relation& a, const Relation& b,
     }
     GSOPT_RETURN_IF_ERROR(charge_status);
   }
+  RecordOut(ctx, out);
   return out;
 }
 

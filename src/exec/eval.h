@@ -25,6 +25,7 @@
 
 #include "base/budget.h"
 #include "base/status.h"
+#include "exec/stats.h"
 #include "relational/expr.h"
 #include "relational/relation.h"
 
@@ -35,10 +36,14 @@ namespace gsopt::exec {
 using PreservedGroup = std::set<std::string>;
 
 // Per-invocation execution context threaded into every kernel. Default
-// constructed it is a no-op (unlimited budget), so direct kernel calls in
-// tests and benches stay terse.
+// constructed it is a no-op (unlimited budget, no stats), so direct kernel
+// calls in tests and benches stay terse.
 struct ExecContext {
   ResourceBudget* budget = nullptr;
+  // When non-null, the kernel records its runtime counters (rows in/out,
+  // hash build/probe behaviour, NULL-key skips, residual evaluations)
+  // here. Null costs one pointer test per update site.
+  OperatorStats* stats = nullptr;
 
   Status ChargeRows(uint64_t n, const char* stage) const {
     if (budget == nullptr) return Status::OK();

@@ -1,0 +1,46 @@
+#include "exec/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gsopt::exec {
+
+double OperatorStats::QError() const {
+  if (est_rows < 0.0) return 0.0;
+  double est = std::max(est_rows, 1.0);
+  double act = std::max(static_cast<double>(rows_out), 1.0);
+  return std::max(est / act, act / est);
+}
+
+std::string OperatorStats::ToString(int indent) const {
+  std::string line(static_cast<size_t>(indent) * 2, ' ');
+  line += op.empty() ? "op" : op;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), " in=%llu out=%llu time=%.3fms",
+                static_cast<unsigned long long>(rows_in),
+                static_cast<unsigned long long>(rows_out),
+                static_cast<double>(wall.count()) / 1e6);
+  line += buf;
+  if (hash_path) {
+    std::snprintf(buf, sizeof(buf),
+                  " hash{build=%llu probe=%llu maxbucket=%llu nullskip=%llu "
+                  "residual=%llu}",
+                  static_cast<unsigned long long>(build_rows),
+                  static_cast<unsigned long long>(probe_rows),
+                  static_cast<unsigned long long>(max_bucket),
+                  static_cast<unsigned long long>(null_key_skips),
+                  static_cast<unsigned long long>(residual_evals));
+    line += buf;
+  }
+  line += '\n';
+  for (const auto& c : children) line += c->ToString(indent + 1);
+  return line;
+}
+
+void CollectQErrors(const OperatorStats& stats, std::vector<double>* out) {
+  double q = stats.QError();
+  if (q > 0.0) out->push_back(q);
+  for (const auto& c : stats.children) CollectQErrors(*c, out);
+}
+
+}  // namespace gsopt::exec

@@ -1,0 +1,82 @@
+// OperatorStats: per-operator runtime observability for the executor.
+//
+// Every kernel in exec/ records what it actually did -- rows consumed and
+// produced, hash-table build/probe behaviour, NULL-key skips under 3VL,
+// residual-predicate evaluations -- into the OperatorStats node carried by
+// its ExecContext. The interpreter (algebra/execute.cc) mirrors the plan
+// tree with a stats tree and adds wall-clock time per operator, so an
+// executed plan can be rendered as EXPLAIN ANALYZE (algebra/explain.h)
+// with estimated-vs-actual cardinalities and a q-error summary.
+//
+// Collection is strictly opt-in: an ExecContext whose stats pointer is
+// null costs the kernels one pointer test per (batch of) counter updates,
+// so governed production execution pays nothing measurable (see
+// bench_gs_cost's BM_InnerJoinWithStats / BM_InnerJoin pair).
+#ifndef GSOPT_EXEC_STATS_H_
+#define GSOPT_EXEC_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gsopt::exec {
+
+struct OperatorStats {
+  // Operator label, e.g. "LOJ" or "scan r1"; filled by whoever builds the
+  // tree (the interpreter uses OpKindName, direct kernel callers may leave
+  // it empty).
+  std::string op;
+
+  // Universal counters (every kernel).
+  uint64_t rows_in = 0;    // input tuples consumed (both sides for binaries)
+  uint64_t rows_out = 0;   // output tuples produced
+
+  // Hash-path counters (join kernels; zero on the nested-loop path).
+  bool hash_path = false;
+  uint64_t build_rows = 0;      // tuples inserted into the hash table
+  uint64_t probe_rows = 0;      // probe-side tuples hashed
+  uint64_t max_bucket = 0;      // largest bucket chain seen during build
+  uint64_t null_key_skips = 0;  // rows skipped because an equi-key was NULL
+  uint64_t residual_evals = 0;  // residual-predicate evaluations
+
+  // Wall-clock time, inclusive of children (filled by the interpreter;
+  // zero for direct kernel calls).
+  std::chrono::nanoseconds wall{0};
+
+  // Cost-model row estimate for this operator, joined in by EXPLAIN
+  // ANALYZE; negative = not estimated.
+  double est_rows = -1.0;
+
+  std::vector<std::unique_ptr<OperatorStats>> children;
+
+  OperatorStats* AddChild(std::string op_name) {
+    children.push_back(std::make_unique<OperatorStats>());
+    children.back()->op = std::move(op_name);
+    return children.back().get();
+  }
+
+  // Wall time minus the children's wall time (the operator's own work).
+  std::chrono::nanoseconds SelfWall() const {
+    std::chrono::nanoseconds kids{0};
+    for (const auto& c : children) kids += c->wall;
+    return wall > kids ? wall - kids : std::chrono::nanoseconds{0};
+  }
+
+  // q-error of the cardinality estimate: max(est/actual, actual/est) with
+  // both sides clamped to >= 1 so empty results stay finite. Returns 0
+  // when no estimate was joined in.
+  double QError() const;
+
+  // Indented one-node-per-line rendering of the stats tree (counters
+  // only; EXPLAIN ANALYZE produces the plan-annotated form).
+  std::string ToString(int indent = 0) const;
+};
+
+// Depth-first walk collecting the q-error of every estimated operator.
+void CollectQErrors(const OperatorStats& stats, std::vector<double>* out);
+
+}  // namespace gsopt::exec
+
+#endif  // GSOPT_EXEC_STATS_H_
