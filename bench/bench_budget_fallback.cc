@@ -14,6 +14,7 @@
 #include <chrono>
 #include <string>
 
+#include "algebra/execute.h"
 #include "base/budget.h"
 #include "base/check.h"
 #include "base/rng.h"
@@ -100,12 +101,55 @@ void BM_FallbackLadder(benchmark::State& state) {
   state.counters["degraded"] = degraded;
 }
 
+// Serial-vs-parallel pair under governance: a 3-relation chain over large
+// near-unique-key tables, executed with an hour-long deadline that never
+// fires. Measures what the thread-safe budget probes cost when every lane
+// charges rows concurrently, vs the same charges from the serial kernels.
+void RunGovernedExecute(benchmark::State& state, bool parallel) {
+  Catalog cat;
+  Rng rng(271828);
+  RandomRelationOptions ropt;
+  ropt.num_rows = static_cast<int>(state.range(0));
+  ropt.domain = ropt.num_rows;  // ~1 match per key: output stays linear
+  ropt.null_fraction = 0.1;
+  AddRandomTables(3, ropt, &rng, &cat);
+  NodePtr q = ChainQuery(3);
+  ExecuteOptions xo;
+  if (parallel) xo.executor = &bench::BenchExecutor(4);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    ResourceBudget budget;
+    budget.WithDeadlineAfter(std::chrono::hours(1));
+    xo.budget = &budget;
+    auto r = Execute(q, cat, xo);
+    GSOPT_CHECK(r.ok());
+    rows = r->NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_GovernedExecuteSerial(benchmark::State& state) {
+  RunGovernedExecute(state, false);
+}
+void BM_GovernedExecuteParallel(benchmark::State& state) {
+  RunGovernedExecute(state, true);
+}
+
 BENCHMARK(BM_Optimize)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OptimizeGoverned)
     ->DenseRange(4, 8, 2)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FallbackLadder)
     ->DenseRange(10, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GovernedExecuteSerial)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GovernedExecuteParallel)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -7,9 +7,12 @@
 
 #include "report.h"
 
+#include "algebra/execute.h"
 #include "algebra/node.h"
+#include "base/rng.h"
 #include "enumerate/enumerator.h"
 #include "hypergraph/build.h"
+#include "relational/datagen.h"
 
 namespace gsopt {
 namespace {
@@ -93,6 +96,37 @@ void BM_Chain(benchmark::State& state) { RunModes(state, Chain); }
 void BM_Star(benchmark::State& state) { RunModes(state, Star); }
 void BM_Mixed(benchmark::State& state) { RunModes(state, Mixed); }
 
+// Serial-vs-parallel pair grounding the plan-space shapes in execution:
+// the as-written Mixed query over near-unique-key tables (output stays
+// linear in the table size), without and with a 4-lane morsel executor.
+void RunExecuteMixed(benchmark::State& state, bool parallel) {
+  const int n = 5;
+  Catalog cat;
+  Rng rng(161803);
+  RandomRelationOptions ropt;
+  ropt.num_rows = static_cast<int>(state.range(0));
+  ropt.domain = ropt.num_rows;
+  ropt.null_fraction = 0.1;
+  AddRandomTables(n, ropt, &rng, &cat);
+  NodePtr q = Mixed(n);
+  ExecuteOptions xo;
+  if (parallel) xo.executor = &bench::BenchExecutor(4);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto r = Execute(q, cat, xo);
+    rows = r.ok() ? r->NumRows() : -1;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_ExecuteMixedSerial(benchmark::State& state) {
+  RunExecuteMixed(state, false);
+}
+void BM_ExecuteMixedParallel(benchmark::State& state) {
+  RunExecuteMixed(state, true);
+}
+
 void Sizes(benchmark::internal::Benchmark* b) {
   for (int n : {3, 4, 5, 6, 7}) {
     for (int mode : {0, 1, 2}) {
@@ -104,6 +138,14 @@ void Sizes(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_Chain)->Apply(Sizes)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Star)->Apply(Sizes)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Mixed)->Apply(Sizes)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecuteMixedSerial)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecuteMixedParallel)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace gsopt

@@ -110,8 +110,8 @@ void RunQuery(const std::string& text, const Catalog& cat, QueryMode mode) {
       std::printf("error: %s\n", analyzed.status().ToString().c_str());
       return;
     }
-    std::printf("%s(%d rows)\n", analyzed->text.c_str(),
-                analyzed->result.NumRows());
+    std::printf("%s(%lld rows)\n", analyzed->text.c_str(),
+                static_cast<long long>(analyzed->result.NumRows()));
     return;
   }
   auto rel = Execute(result->best.expr, cat, xo);
@@ -120,7 +120,7 @@ void RunQuery(const std::string& text, const Catalog& cat, QueryMode mode) {
     return;
   }
   std::printf("%s", ToCsv(*rel).c_str());
-  std::printf("(%d rows)\n", rel->NumRows());
+  std::printf("(%lld rows)\n", static_cast<long long>(rel->NumRows()));
 }
 
 }  // namespace
@@ -134,8 +134,9 @@ int main(int argc, char** argv) {
       std::printf("failed to load %s: %s\n", argv[i], st.ToString().c_str());
       return 1;
     }
-    std::printf("loaded %s as table '%s' (%d rows)\n", argv[i], table.c_str(),
-                cat.Find(table)->NumRows());
+    std::printf("loaded %s as table '%s' (%lld rows)\n", argv[i],
+                table.c_str(),
+                static_cast<long long>(cat.Find(table)->NumRows()));
   }
   if (argc < 2) {
     std::printf("usage: sql_shell <file.csv> [more.csv ...]\n");
@@ -150,8 +151,9 @@ int main(int argc, char** argv) {
     if (line == "\\tables") {
       for (const std::string& t : cat.TableNames()) {
         const Relation* r = cat.Find(t);
-        std::printf("  %s %s (%d rows)\n", t.c_str(),
-                    r->schema().ToString().c_str(), r->NumRows());
+        std::printf("  %s %s (%lld rows)\n", t.c_str(),
+                    r->schema().ToString().c_str(),
+                    static_cast<long long>(r->NumRows()));
       }
     } else if (line.rfind("\\timeout ", 0) == 0) {
       g_timeout_ms = std::atoll(line.substr(9).c_str());

@@ -112,9 +112,9 @@ int main() {
                 result->original_cost / result->best.cost);
     std::printf("  measured: as-written %.2f ms, chosen %.2f ms\n",
                 t_as_written, t_best);
-    std::printf("  results match: %s, rows: %d\n\n",
+    std::printf("  results match: %s, rows: %lld\n\n",
                 Relation::BagEquals(*ref, *got) ? "yes" : "NO",
-                ref->NumRows());
+                static_cast<long long>(ref->NumRows()));
   }
   std::printf(
       "The more selective the BANKRUPT filter, the more the reordering\n"

@@ -89,8 +89,9 @@ int main() {
         TimeMs([&] { opt_result = *Execute(best->best.expr, cat); });
 
     std::printf("|r1| = %3d:  TIS %8.2f ms   unnested %7.2f ms   "
-                "unnested+reordered %7.2f ms   (rows %d, all match: %s)\n",
-                n1, t_tis, t_un, t_opt, tis_result.NumRows(),
+                "unnested+reordered %7.2f ms   (rows %lld, all match: %s)\n",
+                n1, t_tis, t_un, t_opt,
+                static_cast<long long>(tis_result.NumRows()),
                 Relation::BagEquals(tis_result, un_result) &&
                         Relation::BagEquals(tis_result, opt_result)
                     ? "yes"

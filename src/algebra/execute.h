@@ -18,6 +18,7 @@
 #include "algebra/node.h"
 #include "base/budget.h"
 #include "base/status.h"
+#include "exec/executor.h"
 #include "exec/stats.h"
 #include "relational/catalog.h"
 
@@ -29,6 +30,11 @@ struct ExecuteOptions {
   // Optional stats collection root (not owned). When set, Execute fills it
   // for the plan's root operator and appends one child per plan child.
   exec::OperatorStats* stats = nullptr;
+  // Optional morsel-parallel executor (not owned). Null -- the default --
+  // runs every operator on the serial reference kernels. With more than
+  // one lane, large inputs take the parallel kernel paths; results are
+  // bag-equal to serial execution (row order may differ).
+  exec::Executor* executor = nullptr;
 };
 
 StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,

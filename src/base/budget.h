@@ -22,13 +22,21 @@
 // valid plan plus a DegradationReport instead of a crash or an unbounded
 // run.
 //
-// A budget is single-threaded mutable state, shared by pointer across the
-// stages of one optimize-and-execute attempt. The deadline is absolute, so
-// it naturally carries across fallback rungs; plan and row counters can be
-// reset per rung with ResetPlans()/ResetRows().
+// A budget is shared by pointer across the stages of one
+// optimize-and-execute attempt. Configuration (WithDeadline*/WithMax*/
+// Reset*) is single-threaded -- it happens before a stage starts -- but
+// the hot-path probes (ChargeRows, CheckDeadline, CheckDeadlineNow) are
+// thread-safe: the morsel-parallel executor charges rows and ticks the
+// deadline from every lane concurrently. Counters are relaxed-order
+// atomics, so the fast path stays one uncontended fetch_add; expiry is a
+// sticky atomic flag every lane observes, which is what makes cooperative
+// kResourceExhausted cancellation work mid-morsel. The deadline is
+// absolute, so it naturally carries across fallback rungs; plan and row
+// counters can be reset per rung with ResetPlans()/ResetRows().
 #ifndef GSOPT_BASE_BUDGET_H_
 #define GSOPT_BASE_BUDGET_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -54,13 +62,13 @@ class ResourceBudget {
   ResourceBudget& WithDeadlineAfter(std::chrono::microseconds d) {
     deadline_ = Clock::now() + d;
     has_deadline_ = true;
-    expired_ = false;
+    expired_.store(false, std::memory_order_relaxed);
     return *this;
   }
   ResourceBudget& WithDeadline(Clock::time_point tp) {
     deadline_ = tp;
     has_deadline_ = true;
-    expired_ = false;
+    expired_.store(false, std::memory_order_relaxed);
     return *this;
   }
   ResourceBudget& WithMaxPlans(uint64_t n) {
@@ -75,12 +83,18 @@ class ResourceBudget {
   bool has_deadline() const { return has_deadline_; }
   uint64_t max_plans() const { return max_plans_; }
   uint64_t max_rows() const { return max_rows_; }
-  uint64_t rows_charged() const { return rows_; }
-  uint64_t plans_charged() const { return plans_; }
+  uint64_t rows_charged() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+  uint64_t plans_charged() const {
+    return plans_.load(std::memory_order_relaxed);
+  }
   // Deadline probes observed so far (only counted while a deadline is
   // set). An observability counter: regression tests use it to prove hot
   // loops actually tick at the granularity they claim.
-  uint64_t deadline_checks() const { return tick_; }
+  uint64_t deadline_checks() const {
+    return tick_.load(std::memory_order_relaxed);
+  }
 
   // Time until the deadline; zero when expired, kUnlimited-ish large when
   // no deadline is set.
@@ -92,34 +106,47 @@ class ResourceBudget {
                                                                  now);
   }
 
-  // Hot-loop deadline probe: cheap counter, real clock read once per
-  // kClockStride calls. Once expired the result is sticky, so fallback
-  // rungs retried after exhaustion fail fast instead of re-burning time.
+  // Hot-loop deadline probe: cheap relaxed counter, real clock read once
+  // per kClockStride calls across all lanes combined. Once expired the
+  // result is sticky, so fallback rungs retried after exhaustion fail fast
+  // instead of re-burning time, and every parallel lane observes the
+  // expiry within one of its own probes.
   Status CheckDeadline(const char* stage) {
-    if (expired_) return Exhausted(stage, "deadline exceeded");
+    if (expired_.load(std::memory_order_relaxed)) {
+      return Exhausted(stage, "deadline exceeded");
+    }
     if (!has_deadline_) return Status::OK();
-    if ((tick_++ & (kClockStride - 1)) != 0) return Status::OK();
+    if ((tick_.fetch_add(1, std::memory_order_relaxed) &
+         (kClockStride - 1)) != 0) {
+      return Status::OK();
+    }
     return CheckDeadlineNow(stage);
   }
 
   // Unstrided deadline probe for stage boundaries.
   Status CheckDeadlineNow(const char* stage) {
-    if (expired_) return Exhausted(stage, "deadline exceeded");
+    if (expired_.load(std::memory_order_relaxed)) {
+      return Exhausted(stage, "deadline exceeded");
+    }
     if (!has_deadline_) return Status::OK();
     if (Clock::now() >= deadline_) {
-      expired_ = true;
+      expired_.store(true, std::memory_order_relaxed);
       return Exhausted(stage, "deadline exceeded");
     }
     return Status::OK();
   }
 
   // Charges `n` materialized rows against the row cap and probes the
-  // deadline. Executor kernels call this as they produce output.
+  // deadline. Executor kernels call this as they produce output, possibly
+  // from many lanes at once: the single fetch_add makes every row count
+  // exactly once, and exactly one charge observes the old->new transition
+  // across the cap (later charges keep failing, which is what cancels the
+  // remaining lanes).
   Status ChargeRows(uint64_t n, const char* stage) {
-    rows_ += n;
-    if (rows_ > max_rows_) {
+    uint64_t after = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (after > max_rows_) {
       return Exhausted(stage, "row budget exceeded (" +
-                                  std::to_string(rows_) + " > " +
+                                  std::to_string(after) + " > " +
                                   std::to_string(max_rows_) + " rows)");
     }
     return CheckDeadline(stage);
@@ -128,16 +155,18 @@ class ResourceBudget {
   // Plan accounting is advisory: the enumerator sizes its exploration to
   // PlansRemaining() and reports truncation instead of erroring, so a plan
   // cap degrades coverage rather than failing the query.
-  void AddPlans(uint64_t n) { plans_ += n; }
+  void AddPlans(uint64_t n) { plans_.fetch_add(n, std::memory_order_relaxed); }
   uint64_t PlansRemaining() const {
     if (max_plans_ == kUnlimited) return kUnlimited;
-    return plans_ >= max_plans_ ? 0 : max_plans_ - plans_;
+    uint64_t p = plans_charged();
+    return p >= max_plans_ ? 0 : max_plans_ - p;
   }
 
   // Fresh per-rung counters for ladder retries (the deadline, being
-  // absolute, intentionally persists).
-  void ResetPlans() { plans_ = 0; }
-  void ResetRows() { rows_ = 0; }
+  // absolute, intentionally persists). Configuration-phase only, like the
+  // With* setters: not safe concurrently with hot-path probes.
+  void ResetPlans() { plans_.store(0, std::memory_order_relaxed); }
+  void ResetRows() { rows_.store(0, std::memory_order_relaxed); }
 
  private:
   static Status Exhausted(const char* stage, const std::string& what) {
@@ -146,12 +175,12 @@ class ResourceBudget {
 
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
-  bool expired_ = false;
+  std::atomic<bool> expired_{false};
   uint64_t max_plans_ = kUnlimited;
   uint64_t max_rows_ = kUnlimited;
-  uint64_t rows_ = 0;
-  uint64_t plans_ = 0;
-  uint64_t tick_ = 0;
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> plans_{0};
+  std::atomic<uint64_t> tick_{0};
 };
 
 }  // namespace gsopt

@@ -3,9 +3,11 @@
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "base/check.h"
 #include "exec/keys.h"
+#include "exec/lane_control.h"
 
 namespace gsopt::exec {
 
@@ -111,6 +113,25 @@ struct Accumulator {
     }
   }
 
+  // Folds another lane's partial state for the same group into this one.
+  // DISTINCT aggregates are excluded from the parallel path (per-lane
+  // distinct sets cannot be combined without re-deduplicating the inputs),
+  // so distinct_keys never needs merging.
+  void MergeFrom(const Accumulator& o) {
+    count += o.count;
+    sum += o.sum;
+    sum_all_int = sum_all_int && o.sum_all_int;
+    isum += o.isum;
+    if (!o.min_v.is_null() &&
+        (min_v.is_null() || Value::IdentityLess(o.min_v, min_v))) {
+      min_v = o.min_v;
+    }
+    if (!o.max_v.is_null() &&
+        (max_v.is_null() || Value::IdentityLess(max_v, o.max_v))) {
+      max_v = o.max_v;
+    }
+  }
+
   Value Result(const AggSpec& spec) const {
     switch (spec.func) {
       case AggFunc::kCountStar:
@@ -194,34 +215,102 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
   if (ctx.stats != nullptr) {
     ctx.stats->rows_in += static_cast<uint64_t>(r.NumRows());
   }
-  for (const Tuple& t : r.rows()) {
-    GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
-    std::string key = EncodeTupleKey(t, gcol_idx, gvid_idx);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      Group g;
-      g.representative = t;
-      g.accs.resize(spec.aggs.size());
-      it = groups.emplace(key, std::move(g)).first;
-      order.push_back(key);
+
+  // Resolve COUNT_PRESENT vid indices once (validated above).
+  std::vector<int> presence_idx(spec.aggs.size(), -1);
+  for (size_t k = 0; k < spec.aggs.size(); ++k) {
+    if (spec.aggs[k].func == AggFunc::kCountPresence) {
+      presence_idx[k] = r.vschema().Find(spec.aggs[k].presence_rel);
     }
+  }
+  auto feed_row = [&](const Tuple& t, Group* g) {
     for (size_t k = 0; k < spec.aggs.size(); ++k) {
       const AggSpec& a = spec.aggs[k];
       Value v;
       if (a.func == AggFunc::kCountStar) {
         v = Value::Int(1);
       } else if (a.func == AggFunc::kCountPresence) {
-        int vi = r.vschema().Find(a.presence_rel);
-        v = (t.vids[vi] == kNullRowId) ? Value::Null() : Value::Int(1);
+        v = (t.vids[presence_idx[k]] == kNullRowId) ? Value::Null()
+                                                    : Value::Int(1);
       } else {
         v = a.input->Eval(t, r.schema());
       }
-      it->second.accs[k].Feed(v, a);
+      g->accs[k].Feed(v, a);
+    }
+  };
+
+  // Parallel path: per-lane partial aggregation over row morsels, merged
+  // lane-by-lane afterwards. DISTINCT aggregates stay serial -- per-lane
+  // distinct sets cannot be combined without re-deduplicating -- and
+  // MergeFrom handles everything else. Bag-equal to the serial path: only
+  // which row represents a group (IdentityEquals-equal on the group key by
+  // construction) and the synthetic group ordinals can differ.
+  bool has_distinct = false;
+  for (const AggSpec& a : spec.aggs) has_distinct = has_distinct || a.distinct;
+  if (!has_distinct && ctx.Parallel(r.NumRows())) {
+    Executor& ex = *ctx.executor;
+    const int lanes = ex.lanes();
+    struct LaneGroups {
+      std::unordered_map<std::string, Group> groups;
+      std::vector<std::string> order;
+    };
+    std::vector<LaneGroups> lane_groups(static_cast<size_t>(lanes));
+    internal::LaneControl control(lanes);
+    ex.pool().ParallelFor(
+        r.NumRows(), ex.morsel_rows(),
+        [&](int lane, int64_t begin, int64_t end) {
+          if (control.cancelled()) return;
+          LaneGroups& lg = lane_groups[static_cast<size_t>(lane)];
+          std::string key;
+          for (int64_t i = begin; i < end; ++i) {
+            Status s = ctx.Tick("group-by");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+            const Tuple& t = r.row(i);
+            EncodeTupleKeyInto(t, gcol_idx, gvid_idx, &key);
+            auto it = lg.groups.find(key);
+            if (it == lg.groups.end()) {
+              Group g;
+              g.representative = t;
+              g.accs.resize(spec.aggs.size());
+              it = lg.groups.emplace(key, std::move(g)).first;
+              lg.order.push_back(key);
+            }
+            feed_row(t, &it->second);
+          }
+        });
+    GSOPT_RETURN_IF_ERROR(control.First());
+    for (LaneGroups& lg : lane_groups) {
+      for (std::string& key : lg.order) {
+        Group& g = lg.groups.at(key);
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          order.push_back(key);
+          groups.emplace(std::move(key), std::move(g));
+          continue;
+        }
+        for (size_t k = 0; k < spec.aggs.size(); ++k) {
+          it->second.accs[k].MergeFrom(g.accs[k]);
+        }
+      }
+    }
+  } else {
+    for (const Tuple& t : r.rows()) {
+      GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
+      std::string key = EncodeTupleKey(t, gcol_idx, gvid_idx);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        Group g;
+        g.representative = t;
+        g.accs.resize(spec.aggs.size());
+        it = groups.emplace(key, std::move(g)).first;
+        order.push_back(key);
+      }
+      feed_row(t, &it->second);
     }
   }
 
   Relation out(out_schema, out_vschema);
-  out.Reserve(static_cast<int>(order.size()));
+  out.Reserve(static_cast<int64_t>(order.size()));
   RowId group_ordinal = 0;
   for (const std::string& key : order) {
     const Group& g = groups.at(key);

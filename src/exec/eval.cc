@@ -5,95 +5,50 @@
 #include <unordered_set>
 
 #include "base/check.h"
+#include "exec/join_internal.h"
 #include "exec/keys.h"
 
 namespace gsopt::exec {
 
+// Shared join/GS machinery lives in join_internal.h; the parallel kernel
+// paths in parallel.cc.
+using internal::EncodeKeys;
+using internal::GroupIndex;
+using internal::GroupPartAllNull;
+using internal::HashPlan;
+using internal::IndexGroup;
+using internal::JoinCoreResult;
+using internal::MakeHashPlan;
+using internal::PadGroupTuple;
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Hash-join planning: split the conjunction into equi-atoms whose two sides
-// separate across the inputs (the hash keys) and residual atoms.
-// ---------------------------------------------------------------------------
-
-bool ScalarBindsTo(const Scalar& s, const Schema& schema) {
-  return s.Validate(schema).ok();
-}
-
-struct HashPlan {
-  std::vector<ScalarPtr> a_keys;
-  std::vector<ScalarPtr> b_keys;
-  std::vector<Atom> residual;
-
-  bool usable() const { return !a_keys.empty(); }
-};
-
-HashPlan MakeHashPlan(const Predicate& p, const Schema& sa, const Schema& sb) {
-  HashPlan plan;
-  for (const Atom& atom : p.atoms()) {
-    if (atom.kind == Atom::Kind::kCompare && atom.op == CmpOp::kEq) {
-      bool l_in_a = ScalarBindsTo(*atom.lhs, sa);
-      bool r_in_b = ScalarBindsTo(*atom.rhs, sb);
-      bool l_in_b = ScalarBindsTo(*atom.lhs, sb);
-      bool r_in_a = ScalarBindsTo(*atom.rhs, sa);
-      if (l_in_a && r_in_b && !(l_in_b && r_in_a)) {
-        plan.a_keys.push_back(atom.lhs);
-        plan.b_keys.push_back(atom.rhs);
-        continue;
-      }
-      if (l_in_b && r_in_a) {
-        plan.a_keys.push_back(atom.rhs);
-        plan.b_keys.push_back(atom.lhs);
-        continue;
-      }
-    }
-    plan.residual.push_back(atom);
-  }
-  return plan;
-}
-
-// Evaluates key scalars against one input tuple; returns empty string if any
-// key value is NULL (NULL never equi-matches under 3VL, so such rows cannot
-// join and are skipped by the hash path).
-bool EncodeKeys(const std::vector<ScalarPtr>& keys, const Tuple& t,
-                const Schema& s, std::string* out) {
-  out->clear();
-  for (const ScalarPtr& k : keys) {
-    Value v = k->Eval(t, s);
-    if (v.is_null()) return false;
-    AppendValueKey(v, out);
-  }
-  return true;
-}
-
-// Matched pairs plus per-side matched flags; the shared core of every join
-// flavour.
-struct JoinCoreResult {
-  Relation out;
-  std::vector<char> a_matched;
-  std::vector<char> b_matched;
-};
 
 StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
                                   const Predicate& p, const ExecContext& ctx) {
+  HashPlan plan = MakeHashPlan(p, a.schema(), b.schema());
+  if (ctx.Parallel(std::max(a.NumRows(), b.NumRows()))) {
+    return internal::ParallelJoinCore(a, b, plan, p, ctx);
+  }
+
   JoinCoreResult res;
   Schema out_schema = Schema::Concat(a.schema(), b.schema());
   VirtualSchema out_vschema =
       VirtualSchema::Concat(a.vschema(), b.vschema());
   res.out = Relation(out_schema, out_vschema);
-  res.a_matched.assign(a.NumRows(), 0);
-  res.b_matched.assign(b.NumRows(), 0);
+  res.a_matched.assign(static_cast<size_t>(a.NumRows()), 0);
+  res.b_matched.assign(static_cast<size_t>(b.NumRows()), 0);
   OperatorStats* st = ctx.stats;
 
-  HashPlan plan = MakeHashPlan(p, a.schema(), b.schema());
   if (plan.usable()) {
     if (st != nullptr) st->hash_path = true;
-    std::unordered_map<std::string, std::vector<int>> table;
+    std::unordered_map<std::string, std::vector<int64_t>> table;
     std::string key;
-    for (int j = 0; j < b.NumRows(); ++j) {
+    uint64_t built = 0;
+    for (int64_t j = 0; j < b.NumRows(); ++j) {
       if (EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
-        std::vector<int>& bucket = table[key];
+        std::vector<int64_t>& bucket = table[key];
         bucket.push_back(j);
+        ++built;
         if (st != nullptr) {
           ++st->build_rows;
           st->max_bucket = std::max<uint64_t>(st->max_bucket, bucket.size());
@@ -102,8 +57,19 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
         ++st->null_key_skips;
       }
     }
+    // Pre-size the output from build-side bucket statistics: expect each
+    // probe row to match the mean bucket (build rows / distinct keys).
+    // Clamped like Product's reservation so a pathological estimate cannot
+    // commit unbounded memory before the row cap or deadline fires.
+    if (!table.empty()) {
+      constexpr uint64_t kMaxReserve = 1u << 20;
+      uint64_t expected = static_cast<uint64_t>(a.NumRows()) *
+                          std::max<uint64_t>(1, built / table.size());
+      res.out.Reserve(
+          static_cast<int64_t>(std::min(expected, kMaxReserve)));
+    }
     Predicate residual(plan.residual);
-    for (int i = 0; i < a.NumRows(); ++i) {
+    for (int64_t i = 0; i < a.NumRows(); ++i) {
       GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
       if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) {
         if (st != nullptr) ++st->null_key_skips;
@@ -112,7 +78,7 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
       if (st != nullptr) ++st->probe_rows;
       auto it = table.find(key);
       if (it == table.end()) continue;
-      for (int j : it->second) {
+      for (int64_t j : it->second) {
         // Tick inside the bucket-match loop: a skewed key whose bucket
         // holds most of the build side would otherwise run deadline-blind
         // between probe rows (the nested-loop path ticks per pair).
@@ -120,22 +86,22 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
         Tuple t = Tuple::Concat(a.row(i), b.row(j));
         if (st != nullptr) ++st->residual_evals;
         if (residual.Satisfied(t, out_schema)) {
-          res.a_matched[i] = 1;
-          res.b_matched[j] = 1;
+          res.a_matched[static_cast<size_t>(i)] = 1;
+          res.b_matched[static_cast<size_t>(j)] = 1;
           res.out.Add(std::move(t));
           GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
         }
       }
     }
   } else {
-    for (int i = 0; i < a.NumRows(); ++i) {
-      for (int j = 0; j < b.NumRows(); ++j) {
+    for (int64_t i = 0; i < a.NumRows(); ++i) {
+      for (int64_t j = 0; j < b.NumRows(); ++j) {
         GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
         Tuple t = Tuple::Concat(a.row(i), b.row(j));
         if (st != nullptr) ++st->residual_evals;
         if (p.Satisfied(t, out_schema)) {
-          res.a_matched[i] = 1;
-          res.b_matched[j] = 1;
+          res.a_matched[static_cast<size_t>(i)] = 1;
+          res.b_matched[static_cast<size_t>(j)] = 1;
           res.out.Add(std::move(t));
           GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
         }
@@ -143,49 +109,10 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
     }
   }
   if (st != nullptr) {
-    st->rows_in += static_cast<uint64_t>(a.NumRows()) + b.NumRows();
+    st->rows_in += static_cast<uint64_t>(a.NumRows()) +
+                   static_cast<uint64_t>(b.NumRows());
   }
   return res;
-}
-
-// Group column/vid indices for one preserved group within a schema.
-struct GroupIndex {
-  std::vector<int> value_idx;
-  std::vector<int> vid_idx;
-};
-
-GroupIndex IndexGroup(const PreservedGroup& group, const Schema& schema,
-                      const VirtualSchema& vschema) {
-  GroupIndex gi;
-  for (int i = 0; i < schema.size(); ++i) {
-    if (group.count(schema.attr(i).rel)) gi.value_idx.push_back(i);
-  }
-  for (int i = 0; i < vschema.size(); ++i) {
-    if (group.count(vschema.rel(i))) gi.vid_idx.push_back(i);
-  }
-  return gi;
-}
-
-// True if the tuple is entirely NULL on the group's columns and row ids.
-// Such a projection means "no preserved tuple here" (the group's part was
-// itself padding from an outer join below) and must not be resurrected.
-bool GroupPartAllNull(const Tuple& t, const GroupIndex& gi) {
-  for (int i : gi.value_idx) {
-    if (!t.values[i].is_null()) return false;
-  }
-  for (int i : gi.vid_idx) {
-    if (t.vids[i] != kNullRowId) return false;
-  }
-  return true;
-}
-
-// Builds the null-padded resurrection tuple for one preserved-group key.
-Tuple PadGroupTuple(const Tuple& src, const GroupIndex& gi,
-                    const Relation& shape) {
-  Tuple t = shape.NullTuple();
-  for (int i : gi.value_idx) t.values[i] = src.values[i];
-  for (int i : gi.vid_idx) t.vids[i] = src.vids[i];
-  return t;
 }
 
 // Stats helpers: no-ops (one pointer test) when collection is disabled.
@@ -202,6 +129,9 @@ void RecordOut(const ExecContext& ctx, const Relation& out) {
 
 StatusOr<Relation> Product(const Relation& a, const Relation& b,
                            const ExecContext& ctx) {
+  if (ctx.Parallel(a.NumRows()) && b.NumRows() > 0) {
+    return internal::ParallelProduct(a, b, ctx);
+  }
   Relation out(Schema::Concat(a.schema(), b.schema()),
                VirtualSchema::Concat(a.vschema(), b.vschema()));
   // The exact cross-product cardinality as int*int is signed-overflow UB
@@ -211,8 +141,9 @@ StatusOr<Relation> Product(const Relation& a, const Relation& b,
   constexpr uint64_t kMaxReserve = 1u << 20;
   uint64_t total = static_cast<uint64_t>(a.NumRows()) *
                    static_cast<uint64_t>(b.NumRows());
-  out.Reserve(static_cast<int>(std::min(total, kMaxReserve)));
-  RecordIn(ctx, static_cast<uint64_t>(a.NumRows()) + b.NumRows());
+  out.Reserve(static_cast<int64_t>(std::min(total, kMaxReserve)));
+  RecordIn(ctx, static_cast<uint64_t>(a.NumRows()) +
+                    static_cast<uint64_t>(b.NumRows()));
   for (const Tuple& ta : a.rows()) {
     for (const Tuple& tb : b.rows()) {
       GSOPT_RETURN_IF_ERROR(ctx.Tick("product"));
@@ -226,8 +157,11 @@ StatusOr<Relation> Product(const Relation& a, const Relation& b,
 
 StatusOr<Relation> Select(const Relation& r, const Predicate& p,
                           const ExecContext& ctx) {
+  if (ctx.Parallel(r.NumRows())) {
+    return internal::ParallelSelect(r, p, ctx);
+  }
   Relation out(r.schema(), r.vschema());
-  RecordIn(ctx, r.NumRows());
+  RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
   for (const Tuple& t : r.rows()) {
     GSOPT_RETURN_IF_ERROR(ctx.Tick("select"));
     if (ctx.stats != nullptr) ++ctx.stats->residual_evals;
@@ -329,8 +263,8 @@ StatusOr<Relation> LeftOuterJoin(const Relation& a, const Relation& b,
   Tuple b_null;
   b_null.values.assign(b.schema().size(), Value::Null());
   b_null.vids.assign(b.vschema().size(), kNullRowId);
-  for (int i = 0; i < a.NumRows(); ++i) {
-    if (!core.a_matched[i]) {
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (!core.a_matched[static_cast<size_t>(i)]) {
       core.out.Add(Tuple::Concat(a.row(i), b_null));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "left-outer-join"));
     }
@@ -345,8 +279,8 @@ StatusOr<Relation> RightOuterJoin(const Relation& a, const Relation& b,
   Tuple a_null;
   a_null.values.assign(a.schema().size(), Value::Null());
   a_null.vids.assign(a.vschema().size(), kNullRowId);
-  for (int j = 0; j < b.NumRows(); ++j) {
-    if (!core.b_matched[j]) {
+  for (int64_t j = 0; j < b.NumRows(); ++j) {
+    if (!core.b_matched[static_cast<size_t>(j)]) {
       core.out.Add(Tuple::Concat(a_null, b.row(j)));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "right-outer-join"));
     }
@@ -361,8 +295,8 @@ StatusOr<Relation> FullOuterJoin(const Relation& a, const Relation& b,
   Tuple b_null;
   b_null.values.assign(b.schema().size(), Value::Null());
   b_null.vids.assign(b.vschema().size(), kNullRowId);
-  for (int i = 0; i < a.NumRows(); ++i) {
-    if (!core.a_matched[i]) {
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (!core.a_matched[static_cast<size_t>(i)]) {
       core.out.Add(Tuple::Concat(a.row(i), b_null));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "full-outer-join"));
     }
@@ -370,8 +304,8 @@ StatusOr<Relation> FullOuterJoin(const Relation& a, const Relation& b,
   Tuple a_null;
   a_null.values.assign(a.schema().size(), Value::Null());
   a_null.vids.assign(a.vschema().size(), kNullRowId);
-  for (int j = 0; j < b.NumRows(); ++j) {
-    if (!core.b_matched[j]) {
+  for (int64_t j = 0; j < b.NumRows(); ++j) {
+    if (!core.b_matched[static_cast<size_t>(j)]) {
       core.out.Add(Tuple::Concat(a_null, b.row(j)));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "full-outer-join"));
     }
@@ -384,8 +318,8 @@ StatusOr<Relation> AntiJoin(const Relation& a, const Relation& b,
                             const Predicate& p, const ExecContext& ctx) {
   GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Relation out(a.schema(), a.vschema());
-  for (int i = 0; i < a.NumRows(); ++i) {
-    if (!core.a_matched[i]) {
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (!core.a_matched[static_cast<size_t>(i)]) {
       out.Add(a.row(i));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "anti-join"));
     }
@@ -398,8 +332,8 @@ StatusOr<Relation> SemiJoin(const Relation& a, const Relation& b,
                             const Predicate& p, const ExecContext& ctx) {
   GSOPT_ASSIGN_OR_RETURN(JoinCoreResult core, JoinCore(a, b, p, ctx));
   Relation out(a.schema(), a.vschema());
-  for (int i = 0; i < a.NumRows(); ++i) {
-    if (core.a_matched[i]) {
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (core.a_matched[static_cast<size_t>(i)]) {
       out.Add(a.row(i));
       GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "semi-join"));
     }
@@ -433,7 +367,8 @@ StatusOr<Relation> OuterUnion(const Relation& a, const Relation& b,
   }
   Relation out(schema, vschema);
   out.Reserve(a.NumRows() + b.NumRows());
-  RecordIn(ctx, static_cast<uint64_t>(a.NumRows()) + b.NumRows());
+  RecordIn(ctx, static_cast<uint64_t>(a.NumRows()) +
+                    static_cast<uint64_t>(b.NumRows()));
   for (const Tuple& t : a.rows()) {
     Tuple nt;
     nt.values = t.values;
@@ -478,12 +413,12 @@ StatusOr<Relation> GeneralizedSelection(
     }
   }
 
-  // The internal selection pass shares the budget but not the stats node:
-  // GS accounts for its own input/output exactly once and counts the
-  // pass's predicate evaluations itself.
-  ExecContext select_ctx{ctx.budget, nullptr};
+  // The internal selection pass shares the budget and executor but not the
+  // stats node: GS accounts for its own input/output exactly once and
+  // counts the pass's predicate evaluations itself.
+  ExecContext select_ctx{ctx.budget, nullptr, ctx.executor};
   GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, select_ctx));
-  RecordIn(ctx, r.NumRows());
+  RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
   if (ctx.stats != nullptr) {
     ctx.stats->residual_evals += static_cast<uint64_t>(r.NumRows());
   }
@@ -495,6 +430,11 @@ StatusOr<Relation> GeneralizedSelection(
     std::unordered_set<std::string> surviving;
     for (const Tuple& t : selected.rows()) {
       surviving.insert(EncodeTupleKey(t, gi.value_idx, gi.vid_idx));
+    }
+    if (ctx.Parallel(r.NumRows())) {
+      GSOPT_RETURN_IF_ERROR(
+          internal::ParallelGsResurrect(r, gi, surviving, &out, ctx));
+      continue;
     }
     std::unordered_set<std::string> added;
     for (const Tuple& t : r.rows()) {
@@ -555,11 +495,11 @@ StatusOr<Relation> Mgoj(const Relation& a, const Relation& b,
 
     if (group_in_a && group_in_b) {
       // Rare split group: enumerate distinct side projections.
-      std::unordered_map<std::string, int> da, db;
-      for (int i = 0; i < a.NumRows(); ++i) {
+      std::unordered_map<std::string, int64_t> da, db;
+      for (int64_t i = 0; i < a.NumRows(); ++i) {
         da.emplace(EncodeTupleKey(a.row(i), ga.value_idx, ga.vid_idx), i);
       }
-      for (int j = 0; j < b.NumRows(); ++j) {
+      for (int64_t j = 0; j < b.NumRows(); ++j) {
         db.emplace(EncodeTupleKey(b.row(j), gb.value_idx, gb.vid_idx), j);
       }
       for (const auto& [ka, i] : da) {

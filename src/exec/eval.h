@@ -25,6 +25,7 @@
 
 #include "base/budget.h"
 #include "base/status.h"
+#include "exec/executor.h"
 #include "exec/stats.h"
 #include "relational/expr.h"
 #include "relational/relation.h"
@@ -44,6 +45,13 @@ struct ExecContext {
   // hash build/probe behaviour, NULL-key skips, residual evaluations)
   // here. Null costs one pointer test per update site.
   OperatorStats* stats = nullptr;
+  // When non-null with more than one lane, large inputs take the
+  // morsel-parallel kernel paths (partitioned hash join, parallel select /
+  // product / GS-difference / aggregation). Null -- the default -- runs
+  // the serial reference kernels. Results are bag-equal either way; only
+  // row order may differ. The budget (if any) is charged from all lanes;
+  // ResourceBudget's probes are thread-safe.
+  Executor* executor = nullptr;
 
   Status ChargeRows(uint64_t n, const char* stage) const {
     if (budget == nullptr) return Status::OK();
@@ -52,6 +60,11 @@ struct ExecContext {
   Status Tick(const char* stage) const {
     if (budget == nullptr) return Status::OK();
     return budget->CheckDeadline(stage);
+  }
+  // True when `rows` input rows should take a parallel kernel path.
+  bool Parallel(int64_t rows) const {
+    return executor != nullptr && executor->lanes() > 1 &&
+           rows >= executor->min_parallel_rows();
   }
 };
 

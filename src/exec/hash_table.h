@@ -1,0 +1,168 @@
+// Allocation-free join-key machinery for the morsel-parallel executor.
+//
+// The serial kernels build chaining std::unordered_map tables keyed by
+// per-row std::string encodings -- simple, and the reference semantics.
+// That design pays one string construction plus one node allocation per
+// build row and per probe, which caps the executor at allocator speed.
+// The parallel path instead:
+//
+//   * encodes each key once into a per-lane append-only KeyArena (keys are
+//     the same canonical bytes keys.h produces, so equality semantics are
+//     byte equality and identical to the serial path),
+//   * hashes the encoded bytes once to 64 bits (FNV-1a),
+//   * radix-partitions build rows by the hash's high bits, and
+//   * builds one open-addressing JoinHashTable per partition, with per-key
+//     entry chains threaded through a flat entry vector (no per-row
+//     allocation; the arrays are sized once up front).
+//
+// Partitions are disjoint by construction, so the build fans out across
+// lanes without locks, and probes touch exactly one partition.
+#ifndef GSOPT_EXEC_HASH_TABLE_H_
+#define GSOPT_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gsopt::exec {
+
+// FNV-1a over the canonical key bytes. Stable across lanes and runs,
+// which keeps partition assignment deterministic for a given input.
+inline uint64_t HashKeyBytes(const char* data, size_t len) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t HashKeyBytes(const std::string& key) {
+  return HashKeyBytes(key.data(), key.size());
+}
+
+// Append-only byte storage for encoded keys. One arena per lane: lanes
+// append concurrently to their own arena during a build pass, after which
+// the arenas are frozen and shared read-only.
+class KeyArena {
+ public:
+  // Appends the bytes and returns their offset. Pointers into the arena
+  // are only stable once appending stops; refer to keys by offset until
+  // the build pass completes.
+  uint64_t Append(const std::string& bytes) {
+    uint64_t off = data_.size();
+    data_.append(bytes);
+    return off;
+  }
+
+  const char* At(uint64_t off) const { return data_.data() + off; }
+  uint64_t size() const { return data_.size(); }
+
+ private:
+  std::string data_;
+};
+
+// One partition's hash index: open addressing with linear probing over
+// power-of-two slots, one slot per distinct key, duplicate keys chained
+// through `next`. Equality is hash-then-bytes against the frozen arenas.
+class JoinHashTable {
+ public:
+  struct Entry {
+    uint64_t hash;
+    uint64_t off;   // key bytes: arenas[lane].At(off), `len` long
+    uint32_t len;
+    uint32_t lane;
+    int64_t row;    // build-side row index
+    int32_t next;   // next entry with the same key, -1 at chain end
+  };
+
+  // Takes the partition's entries and wires slots + duplicate chains.
+  // `arenas` must outlive the table and stay frozen.
+  void Build(std::vector<Entry> entries,
+             const std::vector<KeyArena>& arenas) {
+    entries_ = std::move(entries);
+    distinct_keys_ = 0;
+    max_chain_ = 0;
+    slots_.clear();
+    if (entries_.empty()) {
+      mask_ = 0;
+      return;
+    }
+    uint64_t cap = 16;
+    while (cap < 2 * entries_.size()) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, -1);
+    // chain_len[e] = chain length counting from entry e to the tail; a new
+    // head extends the old head's chain by one.
+    std::vector<uint32_t> chain_len(entries_.size(), 1);
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      Entry& ent = entries_[e];
+      uint64_t slot = ent.hash & mask_;
+      for (;;) {
+        int32_t head = slots_[slot];
+        if (head < 0) {
+          ent.next = -1;
+          slots_[slot] = static_cast<int32_t>(e);
+          ++distinct_keys_;
+          if (max_chain_ < 1) max_chain_ = 1;
+          break;
+        }
+        const Entry& h = entries_[static_cast<size_t>(head)];
+        if (h.hash == ent.hash && KeysEqual(h, ent, arenas)) {
+          ent.next = head;
+          slots_[slot] = static_cast<int32_t>(e);
+          chain_len[e] = chain_len[static_cast<size_t>(head)] + 1;
+          if (chain_len[e] > max_chain_) max_chain_ = chain_len[e];
+          break;
+        }
+        slot = (slot + 1) & mask_;
+      }
+    }
+  }
+
+  // Head entry index for the key, or -1.
+  int32_t Find(uint64_t hash, const char* key, uint32_t len,
+               const std::vector<KeyArena>& arenas) const {
+    if (slots_.empty()) return -1;
+    uint64_t slot = hash & mask_;
+    for (;;) {
+      int32_t head = slots_[slot];
+      if (head < 0) return -1;
+      const Entry& h = entries_[static_cast<size_t>(head)];
+      if (h.hash == hash && h.len == len &&
+          std::memcmp(arenas[h.lane].At(h.off), key, len) == 0) {
+        return head;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  const Entry& entry(int32_t i) const {
+    return entries_[static_cast<size_t>(i)];
+  }
+
+  uint64_t num_entries() const { return entries_.size(); }
+  uint64_t distinct_keys() const { return distinct_keys_; }
+  // Longest duplicate chain (the parallel analogue of the serial path's
+  // max_bucket stat).
+  uint64_t max_chain() const { return max_chain_; }
+
+ private:
+  bool KeysEqual(const Entry& a, const Entry& b,
+                 const std::vector<KeyArena>& arenas) const {
+    return a.len == b.len &&
+           std::memcmp(arenas[a.lane].At(a.off), arenas[b.lane].At(b.off),
+                       a.len) == 0;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<int32_t> slots_;
+  uint64_t mask_ = 0;
+  uint64_t distinct_keys_ = 0;
+  uint32_t max_chain_ = 0;
+};
+
+}  // namespace gsopt::exec
+
+#endif  // GSOPT_EXEC_HASH_TABLE_H_

@@ -5,6 +5,8 @@
 #ifndef GSOPT_EXEC_KEYS_H_
 #define GSOPT_EXEC_KEYS_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -19,15 +21,29 @@ inline void AppendValueKey(const Value& v, std::string* out) {
       out->push_back('n');
       break;
     case ValueType::kInt:
+      // Exact int64 digits: never routed through double, so adjacent
+      // int64s past 2^53 keep distinct keys (matching IdentityEquals'
+      // exact int-int comparison).
+      out->push_back('i');
+      out->append(std::to_string(v.AsInt()));
+      break;
     case ValueType::kDouble: {
+      // Doubles that are exactly an int64 within the 2^53 exact range
+      // share the int encoding, so 1 == 1.0 across types (IdentityEquals'
+      // numeric coercion). Everything else gets a round-trippable %.17g
+      // (max_digits10) encoding: std::to_string's fixed 6 fractional
+      // digits collapsed distinct doubles (1e-9 vs 2e-9 -> "0.000000").
       double d = v.AsDouble();
-      int64_t i = static_cast<int64_t>(d);
-      if (d == static_cast<double>(i)) {
+      constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+      if (d >= -kMaxExactInt && d <= kMaxExactInt &&
+          d == static_cast<double>(static_cast<int64_t>(d))) {
         out->push_back('i');
-        out->append(std::to_string(i));
+        out->append(std::to_string(static_cast<int64_t>(d)));
       } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
         out->push_back('d');
-        out->append(std::to_string(d));
+        out->append(buf);
       }
       break;
     }
@@ -47,17 +63,27 @@ inline std::string EncodeValues(const std::vector<Value>& values) {
   return key;
 }
 
-// Encodes selected value columns and selected row-id columns of a tuple.
+// Encodes selected value columns and selected row-id columns of a tuple
+// into `key` (cleared first). The Into form lets hot loops reuse one
+// scratch string per lane instead of allocating per row.
+inline void EncodeTupleKeyInto(const Tuple& t,
+                               const std::vector<int>& value_idx,
+                               const std::vector<int>& vid_idx,
+                               std::string* key) {
+  key->clear();
+  for (int i : value_idx) AppendValueKey(t.values[i], key);
+  key->push_back('#');
+  for (int i : vid_idx) {
+    key->append(std::to_string(t.vids[i]));
+    key->push_back('|');
+  }
+}
+
 inline std::string EncodeTupleKey(const Tuple& t,
                                   const std::vector<int>& value_idx,
                                   const std::vector<int>& vid_idx) {
   std::string key;
-  for (int i : value_idx) AppendValueKey(t.values[i], &key);
-  key.push_back('#');
-  for (int i : vid_idx) {
-    key.append(std::to_string(t.vids[i]));
-    key.push_back('|');
-  }
+  EncodeTupleKeyInto(t, value_idx, vid_idx, &key);
   return key;
 }
 

@@ -1,0 +1,40 @@
+// Exec-internal: per-parallel-region error state shared by the
+// morsel-parallel kernels (parallel.cc, aggregate.cc). The pool itself
+// never sees Status; kernels own cancellation. A failing lane records its
+// Status and raises the cancel flag; other lanes observe it at morsel
+// granularity and drain their remaining ranges without work. After the
+// fan-in, First() reports the lowest-lane error so the surfaced Status is
+// deterministic for a given set of failures.
+#ifndef GSOPT_EXEC_LANE_CONTROL_H_
+#define GSOPT_EXEC_LANE_CONTROL_H_
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace gsopt::exec::internal {
+
+struct LaneControl {
+  explicit LaneControl(int lanes) : status(static_cast<size_t>(lanes)) {}
+
+  bool cancelled() const { return cancel.load(std::memory_order_relaxed); }
+  void Fail(int lane, Status s) {
+    status[static_cast<size_t>(lane)] = std::move(s);
+    cancel.store(true, std::memory_order_relaxed);
+  }
+  Status First() const {
+    for (const Status& s : status) {
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Status> status;
+  std::atomic<bool> cancel{false};
+};
+
+}  // namespace gsopt::exec::internal
+
+#endif  // GSOPT_EXEC_LANE_CONTROL_H_

@@ -1,0 +1,422 @@
+// Morsel-parallel kernel paths. Each function here is the parallel twin of
+// a serial kernel in eval.cc and must stay bag-equal to it (the property
+// suite in tests/exec/parallel_exec_test.cc enforces this on randomized
+// null-heavy inputs); only row order may differ.
+//
+// Shared structure of every kernel:
+//   * the input is split into row-range morsels handed to lanes by the
+//     pool's atomic cursor;
+//   * each lane writes to private state (output Relation, matched flags,
+//     OperatorStats scratch, reusable key buffer) -- nothing contended but
+//     the budget's relaxed atomics;
+//   * errors cooperate: a failing lane records its Status, raises a shared
+//     cancel flag, and the other lanes drain their morsels without work;
+//   * after the fan-in (a full synchronization point in ThreadPool), lane
+//     outputs are spliced in lane order and counters merged once.
+//
+// The hash join is the partitioned build/probe design from hash_table.h:
+// encode + hash each key once, radix-partition by high hash bits, build
+// disjoint open-addressing tables in parallel, probe in morsels.
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "exec/hash_table.h"
+#include "exec/join_internal.h"
+#include "exec/lane_control.h"
+
+namespace gsopt::exec::internal {
+
+namespace {
+
+// Splices per-lane outputs (lane order) onto `out`.
+void SpliceLanes(std::vector<Relation>* lanes, Relation* out) {
+  for (Relation& lane : *lanes) out->AppendFrom(std::move(lane));
+}
+
+void MergeLaneStats(const ExecContext& ctx,
+                    const std::vector<OperatorStats>& lane_stats) {
+  if (ctx.stats == nullptr) return;
+  for (const OperatorStats& s : lane_stats) ctx.stats->MergeCountersFrom(s);
+}
+
+constexpr uint64_t kMaxReserve = 1u << 20;
+
+int64_t ClampReserve(uint64_t want) {
+  return static_cast<int64_t>(std::min<uint64_t>(want, kMaxReserve));
+}
+
+}  // namespace
+
+StatusOr<Relation> ParallelSelect(const Relation& r, const Predicate& p,
+                                  const ExecContext& ctx) {
+  Executor& ex = *ctx.executor;
+  const int lanes = ex.lanes();
+  std::vector<Relation> lane_out(static_cast<size_t>(lanes),
+                                 Relation(r.schema(), r.vschema()));
+  std::vector<OperatorStats> lane_stats(static_cast<size_t>(lanes));
+  LaneControl control(lanes);
+
+  ex.pool().ParallelFor(
+      r.NumRows(), ex.morsel_rows(),
+      [&](int lane, int64_t begin, int64_t end) {
+        if (control.cancelled()) return;
+        Relation& out = lane_out[static_cast<size_t>(lane)];
+        OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
+        for (int64_t i = begin; i < end; ++i) {
+          Status s = ctx.Tick("select");
+          if (!s.ok()) return control.Fail(lane, std::move(s));
+          ++st.residual_evals;
+          if (p.Satisfied(r.row(i), r.schema())) {
+            out.Add(r.row(i));
+            s = ctx.ChargeRows(1, "select");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+          }
+        }
+      });
+  GSOPT_RETURN_IF_ERROR(control.First());
+
+  Relation out(r.schema(), r.vschema());
+  SpliceLanes(&lane_out, &out);
+  MergeLaneStats(ctx, lane_stats);
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_in += static_cast<uint64_t>(r.NumRows());
+    ctx.stats->rows_out += static_cast<uint64_t>(out.NumRows());
+  }
+  return out;
+}
+
+StatusOr<Relation> ParallelProduct(const Relation& a, const Relation& b,
+                                   const ExecContext& ctx) {
+  Executor& ex = *ctx.executor;
+  const int lanes = ex.lanes();
+  Schema out_schema = Schema::Concat(a.schema(), b.schema());
+  VirtualSchema out_vschema = VirtualSchema::Concat(a.vschema(), b.vschema());
+  std::vector<Relation> lane_out(static_cast<size_t>(lanes),
+                                 Relation(out_schema, out_vschema));
+  LaneControl control(lanes);
+  // Same bounded reservation policy as the serial kernel, spread over
+  // lanes: full-size reservations would commit the whole product's memory
+  // before the row cap or deadline can fire.
+  uint64_t total = static_cast<uint64_t>(a.NumRows()) *
+                   static_cast<uint64_t>(b.NumRows());
+  for (Relation& lane : lane_out) {
+    lane.Reserve(ClampReserve(total / static_cast<uint64_t>(lanes) + 1));
+  }
+
+  ex.pool().ParallelFor(
+      a.NumRows(), ex.morsel_rows(),
+      [&](int lane, int64_t begin, int64_t end) {
+        if (control.cancelled()) return;
+        Relation& out = lane_out[static_cast<size_t>(lane)];
+        for (int64_t i = begin; i < end; ++i) {
+          for (const Tuple& tb : b.rows()) {
+            Status s = ctx.Tick("product");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+            out.Add(Tuple::Concat(a.row(i), tb));
+            s = ctx.ChargeRows(1, "product");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+          }
+        }
+      });
+  GSOPT_RETURN_IF_ERROR(control.First());
+
+  Relation out(out_schema, out_vschema);
+  SpliceLanes(&lane_out, &out);
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_in +=
+        static_cast<uint64_t>(a.NumRows()) + static_cast<uint64_t>(b.NumRows());
+    ctx.stats->rows_out += static_cast<uint64_t>(out.NumRows());
+  }
+  return out;
+}
+
+namespace {
+
+// Partitioned parallel hash join: pass 1 encodes/hashes/partitions the
+// build side, pass 2 builds disjoint per-partition tables, pass 3 probes
+// in morsels.
+StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
+                                          const Relation& b,
+                                          const HashPlan& plan,
+                                          const ExecContext& ctx,
+                                          JoinCoreResult res) {
+  Executor& ex = *ctx.executor;
+  const int lanes = ex.lanes();
+  const size_t nlanes = static_cast<size_t>(lanes);
+
+  // Power-of-two partition count >= 2*lanes, so pass 2 load-balances even
+  // when hash skew empties some partitions.
+  int parts = 16;
+  while (parts < 2 * lanes) parts <<= 1;
+  int log2_parts = 0;
+  while ((1 << log2_parts) < parts) ++log2_parts;
+  const int shift = 64 - log2_parts;
+
+  std::vector<KeyArena> arenas(nlanes);
+  std::vector<std::vector<std::vector<JoinHashTable::Entry>>> lane_parts(
+      nlanes,
+      std::vector<std::vector<JoinHashTable::Entry>>(
+          static_cast<size_t>(parts)));
+  std::vector<OperatorStats> lane_stats(nlanes);
+  LaneControl control(lanes);
+
+  // Pass 1: build-side encode + hash + partition.
+  ex.pool().ParallelFor(
+      b.NumRows(), ex.morsel_rows(),
+      [&](int lane, int64_t begin, int64_t end) {
+        if (control.cancelled()) return;
+        KeyArena& arena = arenas[static_cast<size_t>(lane)];
+        auto& my_parts = lane_parts[static_cast<size_t>(lane)];
+        OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
+        std::string key;
+        for (int64_t j = begin; j < end; ++j) {
+          Status s = ctx.Tick("join");
+          if (!s.ok()) return control.Fail(lane, std::move(s));
+          if (!EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
+            ++st.null_key_skips;
+            continue;
+          }
+          uint64_t h = HashKeyBytes(key);
+          uint64_t off = arena.Append(key);
+          my_parts[h >> shift].push_back(JoinHashTable::Entry{
+              h, off, static_cast<uint32_t>(key.size()),
+              static_cast<uint32_t>(lane), j, -1});
+          ++st.build_rows;
+        }
+      });
+  GSOPT_RETURN_IF_ERROR(control.First());
+
+  // Pass 2: build one open-addressing table per partition. Partitions are
+  // disjoint, so this fans out with morsel size 1.
+  std::vector<JoinHashTable> tables(static_cast<size_t>(parts));
+  ex.pool().ParallelFor(
+      parts, 1, [&](int /*lane*/, int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          size_t total = 0;
+          for (const auto& lp : lane_parts) {
+            total += lp[static_cast<size_t>(p)].size();
+          }
+          std::vector<JoinHashTable::Entry> entries;
+          entries.reserve(total);
+          for (const auto& lp : lane_parts) {
+            const auto& v = lp[static_cast<size_t>(p)];
+            entries.insert(entries.end(), v.begin(), v.end());
+          }
+          tables[static_cast<size_t>(p)].Build(std::move(entries), arenas);
+        }
+      });
+
+  // Build-side bucket statistics drive a bounded output reservation: the
+  // expected match count is probe_rows * (build_rows / distinct_keys),
+  // clamped like the Product reservation so a hot key cannot commit
+  // unbounded memory up front.
+  uint64_t build_total = 0, distinct_total = 0, max_chain = 0;
+  for (const JoinHashTable& t : tables) {
+    build_total += t.num_entries();
+    distinct_total += t.distinct_keys();
+    max_chain = std::max(max_chain, t.max_chain());
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->hash_path = true;
+    ctx.stats->max_bucket = std::max(ctx.stats->max_bucket, max_chain);
+  }
+  uint64_t expected = 0;
+  if (distinct_total > 0) {
+    expected = static_cast<uint64_t>(a.NumRows()) *
+               std::max<uint64_t>(1, build_total / distinct_total);
+  }
+
+  Schema out_schema = res.out.schema();
+  std::vector<Relation> lane_out(
+      nlanes, Relation(res.out.schema(), res.out.vschema()));
+  if (expected > 0) {
+    for (Relation& lane : lane_out) {
+      lane.Reserve(
+          ClampReserve(expected / static_cast<uint64_t>(lanes) + 1));
+    }
+  }
+  std::vector<std::vector<char>> lane_b_matched(
+      nlanes, std::vector<char>(static_cast<size_t>(b.NumRows()), 0));
+  Predicate residual(plan.residual);
+
+  // Pass 3: probe in morsels. a_matched rows are owned by exactly one
+  // lane; b_matched is per-lane and OR-merged after the fan-in.
+  ex.pool().ParallelFor(
+      a.NumRows(), ex.morsel_rows(),
+      [&](int lane, int64_t begin, int64_t end) {
+        if (control.cancelled()) return;
+        Relation& out = lane_out[static_cast<size_t>(lane)];
+        OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
+        std::vector<char>& bm = lane_b_matched[static_cast<size_t>(lane)];
+        std::string key;
+        for (int64_t i = begin; i < end; ++i) {
+          Status s = ctx.Tick("join");
+          if (!s.ok()) return control.Fail(lane, std::move(s));
+          if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) {
+            ++st.null_key_skips;
+            continue;
+          }
+          ++st.probe_rows;
+          uint64_t h = HashKeyBytes(key);
+          const JoinHashTable& table = tables[h >> shift];
+          int32_t e = table.Find(h, key.data(),
+                                 static_cast<uint32_t>(key.size()), arenas);
+          for (; e >= 0; e = table.entry(e).next) {
+            s = ctx.Tick("join");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+            int64_t j = table.entry(e).row;
+            Tuple t = Tuple::Concat(a.row(i), b.row(j));
+            ++st.residual_evals;
+            if (residual.Satisfied(t, out_schema)) {
+              res.a_matched[static_cast<size_t>(i)] = 1;
+              bm[static_cast<size_t>(j)] = 1;
+              out.Add(std::move(t));
+              s = ctx.ChargeRows(1, "join");
+              if (!s.ok()) return control.Fail(lane, std::move(s));
+            }
+          }
+        }
+      });
+  GSOPT_RETURN_IF_ERROR(control.First());
+
+  SpliceLanes(&lane_out, &res.out);
+  for (const std::vector<char>& bm : lane_b_matched) {
+    for (size_t j = 0; j < bm.size(); ++j) {
+      if (bm[j]) res.b_matched[j] = 1;
+    }
+  }
+  MergeLaneStats(ctx, lane_stats);
+  return res;
+}
+
+// Parallel nested loops for predicates with no separable equi-conjunct:
+// morsels over the outer side, full inner scan per row.
+StatusOr<JoinCoreResult> ParallelNestedLoopJoin(const Relation& a,
+                                                const Relation& b,
+                                                const Predicate& p,
+                                                const ExecContext& ctx,
+                                                JoinCoreResult res) {
+  Executor& ex = *ctx.executor;
+  const int lanes = ex.lanes();
+  const size_t nlanes = static_cast<size_t>(lanes);
+  Schema out_schema = res.out.schema();
+  std::vector<Relation> lane_out(
+      nlanes, Relation(res.out.schema(), res.out.vschema()));
+  std::vector<std::vector<char>> lane_b_matched(
+      nlanes, std::vector<char>(static_cast<size_t>(b.NumRows()), 0));
+  std::vector<OperatorStats> lane_stats(nlanes);
+  LaneControl control(lanes);
+
+  ex.pool().ParallelFor(
+      a.NumRows(), ex.morsel_rows(),
+      [&](int lane, int64_t begin, int64_t end) {
+        if (control.cancelled()) return;
+        Relation& out = lane_out[static_cast<size_t>(lane)];
+        OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
+        std::vector<char>& bm = lane_b_matched[static_cast<size_t>(lane)];
+        for (int64_t i = begin; i < end; ++i) {
+          for (int64_t j = 0; j < b.NumRows(); ++j) {
+            Status s = ctx.Tick("join");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+            Tuple t = Tuple::Concat(a.row(i), b.row(j));
+            ++st.residual_evals;
+            if (p.Satisfied(t, out_schema)) {
+              res.a_matched[static_cast<size_t>(i)] = 1;
+              bm[static_cast<size_t>(j)] = 1;
+              out.Add(std::move(t));
+              s = ctx.ChargeRows(1, "join");
+              if (!s.ok()) return control.Fail(lane, std::move(s));
+            }
+          }
+        }
+      });
+  GSOPT_RETURN_IF_ERROR(control.First());
+
+  SpliceLanes(&lane_out, &res.out);
+  for (const std::vector<char>& bm : lane_b_matched) {
+    for (size_t j = 0; j < bm.size(); ++j) {
+      if (bm[j]) res.b_matched[j] = 1;
+    }
+  }
+  MergeLaneStats(ctx, lane_stats);
+  return res;
+}
+
+}  // namespace
+
+StatusOr<JoinCoreResult> ParallelJoinCore(const Relation& a,
+                                          const Relation& b,
+                                          const HashPlan& plan,
+                                          const Predicate& p,
+                                          const ExecContext& ctx) {
+  JoinCoreResult res;
+  res.out = Relation(Schema::Concat(a.schema(), b.schema()),
+                     VirtualSchema::Concat(a.vschema(), b.vschema()));
+  res.a_matched.assign(static_cast<size_t>(a.NumRows()), 0);
+  res.b_matched.assign(static_cast<size_t>(b.NumRows()), 0);
+  if (ctx.stats != nullptr) {
+    ctx.stats->rows_in +=
+        static_cast<uint64_t>(a.NumRows()) + static_cast<uint64_t>(b.NumRows());
+  }
+  if (plan.usable()) {
+    return ParallelHashJoin(a, b, plan, ctx, std::move(res));
+  }
+  return ParallelNestedLoopJoin(a, b, p, ctx, std::move(res));
+}
+
+Status ParallelGsResurrect(const Relation& r, const GroupIndex& gi,
+                           const std::unordered_set<std::string>& surviving,
+                           Relation* out, const ExecContext& ctx) {
+  Executor& ex = *ctx.executor;
+  const int lanes = ex.lanes();
+  const size_t nlanes = static_cast<size_t>(lanes);
+
+  // Candidate = first row (per lane) of a group key that survived nowhere.
+  // Lanes dedupe locally; the serial fan-in dedupes across lanes, so each
+  // missing key resurrects exactly one tuple -- same bag as the serial
+  // difference, which also keys dedup on the encoded group projection.
+  struct Candidate {
+    std::string key;
+    int64_t row;
+  };
+  std::vector<std::vector<Candidate>> lane_cands(nlanes);
+  LaneControl control(lanes);
+
+  ex.pool().ParallelFor(
+      r.NumRows(), ex.morsel_rows(),
+      [&](int lane, int64_t begin, int64_t end) {
+        if (control.cancelled()) return;
+        std::vector<Candidate>& cands =
+            lane_cands[static_cast<size_t>(lane)];
+        std::unordered_set<std::string> added;
+        std::string key;
+        for (int64_t i = begin; i < end; ++i) {
+          Status s = ctx.Tick("generalized-selection");
+          if (!s.ok()) return control.Fail(lane, std::move(s));
+          const Tuple& t = r.row(i);
+          if (GroupPartAllNull(t, gi)) continue;
+          EncodeTupleKeyInto(t, gi.value_idx, gi.vid_idx, &key);
+          if (surviving.count(key) || added.count(key)) continue;
+          added.insert(key);
+          cands.push_back(Candidate{key, i});
+        }
+      });
+  GSOPT_RETURN_IF_ERROR(control.First());
+
+  std::unordered_set<std::string> added;
+  for (std::vector<Candidate>& cands : lane_cands) {
+    for (Candidate& c : cands) {
+      if (!added.insert(std::move(c.key)).second) continue;
+      out->Add(PadGroupTuple(r.row(c.row), gi, *out));
+      GSOPT_RETURN_IF_ERROR(
+          ctx.ChargeRows(1, "generalized-selection"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gsopt::exec::internal

@@ -5,6 +5,17 @@
 
 namespace gsopt::exec {
 
+void OperatorStats::MergeCountersFrom(const OperatorStats& o) {
+  rows_in += o.rows_in;
+  rows_out += o.rows_out;
+  hash_path = hash_path || o.hash_path;
+  build_rows += o.build_rows;
+  probe_rows += o.probe_rows;
+  max_bucket = std::max(max_bucket, o.max_bucket);
+  null_key_skips += o.null_key_skips;
+  residual_evals += o.residual_evals;
+}
+
 double OperatorStats::QError() const {
   if (est_rows < 0.0) return 0.0;
   double est = std::max(est_rows, 1.0);

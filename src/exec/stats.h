@@ -57,6 +57,12 @@ struct OperatorStats {
     return children.back().get();
   }
 
+  // Adds another node's flat counters into this one: the parallel kernels
+  // give each lane a private scratch node and merge after the fan-in, so
+  // hot loops never contend on shared counters. Children, wall time and
+  // estimates are not merged (lane scratches have none).
+  void MergeCountersFrom(const OperatorStats& o);
+
   // Wall time minus the children's wall time (the operator's own work).
   std::chrono::nanoseconds SelfWall() const {
     std::chrono::nanoseconds kids{0};

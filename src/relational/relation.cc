@@ -20,6 +20,18 @@ void Relation::AddBaseRow(std::vector<Value> values, RowId id) {
   Add(std::move(t));
 }
 
+void Relation::AppendFrom(Relation&& other) {
+  GSOPT_DCHECK(other.schema_.size() == schema_.size());
+  GSOPT_DCHECK(other.vschema_.size() == vschema_.size());
+  if (rows_.empty()) {
+    rows_ = std::move(other.rows_);
+  } else {
+    rows_.reserve(rows_.size() + other.rows_.size());
+    for (Tuple& t : other.rows_) rows_.push_back(std::move(t));
+  }
+  other.rows_.clear();
+}
+
 Tuple Relation::NullTuple() const {
   Tuple t;
   t.values.assign(schema_.size(), Value::Null());
@@ -72,16 +84,16 @@ bool Relation::BagEquals(const Relation& a, const Relation& b) {
       return false;
     }
   }
-  std::vector<int> ra(a.NumRows()), rb(b.NumRows());
+  std::vector<int64_t> ra(a.NumRows()), rb(b.NumRows());
   std::iota(ra.begin(), ra.end(), 0);
   std::iota(rb.begin(), rb.end(), 0);
-  std::sort(ra.begin(), ra.end(), [&](int x, int y) {
+  std::sort(ra.begin(), ra.end(), [&](int64_t x, int64_t y) {
     return RowLess(a.rows()[x], a.rows()[y], oa, oa);
   });
-  std::sort(rb.begin(), rb.end(), [&](int x, int y) {
+  std::sort(rb.begin(), rb.end(), [&](int64_t x, int64_t y) {
     return RowLess(b.rows()[x], b.rows()[y], ob, ob);
   });
-  for (int i = 0; i < a.NumRows(); ++i) {
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
     if (!RowEq(a.rows()[ra[i]], b.rows()[rb[i]], oa, ob)) return false;
   }
   return true;

@@ -3,6 +3,7 @@
 #ifndef GSOPT_RELATIONAL_RELATION_H_
 #define GSOPT_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,8 +21,13 @@ class Relation {
   const Schema& schema() const { return schema_; }
   const VirtualSchema& vschema() const { return vschema_; }
 
-  int NumRows() const { return static_cast<int>(rows_.size()); }
-  const Tuple& row(int i) const { return rows_[i]; }
+  // 64-bit row count: intermediate results (products, parallel joins) can
+  // legitimately exceed 2^31 rows, and cost/budget arithmetic must not see
+  // a negative count.
+  int64_t NumRows() const { return static_cast<int64_t>(rows_.size()); }
+  const Tuple& row(int64_t i) const {
+    return rows_[static_cast<size_t>(i)];
+  }
   const std::vector<Tuple>& rows() const { return rows_; }
 
   void Add(Tuple t);
@@ -30,10 +36,16 @@ class Relation {
   // virtual attribute (for single-base-relation relations).
   void AddBaseRow(std::vector<Value> values, RowId id);
 
+  // Moves all rows of `other` (same shape; checked) onto the end of this
+  // relation. Used by the parallel kernels to splice per-lane outputs.
+  void AppendFrom(Relation&& other);
+
   // A tuple of all-NULL values / all-null row ids shaped like this relation.
   Tuple NullTuple() const;
 
-  void Reserve(int n) { rows_.reserve(n); }
+  void Reserve(int64_t n) {
+    if (n > 0) rows_.reserve(static_cast<size_t>(n));
+  }
 
   // Multiset equality over real attributes, matching columns by qualified
   // name (column order independent). Virtual attributes are ignored: two

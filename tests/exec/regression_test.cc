@@ -10,6 +10,7 @@
 #include "base/budget.h"
 #include "base/rng.h"
 #include "exec/eval.h"
+#include "exec/keys.h"
 #include "relational/datagen.h"
 
 namespace gsopt {
@@ -104,6 +105,50 @@ TEST(ExecutionEquivalentRegressionTest, HonorsExecuteOptions) {
   auto plain = ExecutionEquivalent(q, q, cat);
   ASSERT_TRUE(plain.ok());
   EXPECT_TRUE(*plain);
+}
+
+std::string KeyOf(const Value& v) {
+  std::string key;
+  exec::AppendValueKey(v, &key);
+  return key;
+}
+
+TEST(ValueKeyRegressionTest, SmallDoublesGetDistinctKeys) {
+  // Pre-fix AppendValueKey encoded doubles with std::to_string, whose
+  // fixed 6 fractional digits collapsed any pair of small doubles:
+  // 1e-9 and 2e-9 both encoded as "0.000000" and merged in every hash
+  // join, grouping, and GS difference.
+  EXPECT_NE(KeyOf(Value::Double(1e-9)), KeyOf(Value::Double(2e-9)));
+  EXPECT_NE(KeyOf(Value::Double(0.1234567)), KeyOf(Value::Double(0.1234568)));
+  // Round-trippable: equal doubles still share a key.
+  EXPECT_EQ(KeyOf(Value::Double(1e-9)), KeyOf(Value::Double(1e-9)));
+}
+
+TEST(ValueKeyRegressionTest, LargeIntsGetDistinctKeys) {
+  // Pre-fix kInt encoding routed through static_cast<double>, so adjacent
+  // int64s past 2^53 shared a key.
+  constexpr int64_t kBig = (int64_t{1} << 53) + 1;
+  EXPECT_NE(KeyOf(Value::Int(kBig)), KeyOf(Value::Int(kBig + 1)));
+}
+
+TEST(ValueKeyRegressionTest, IntAndWholeDoubleShareKey) {
+  // IdentityEquals treats 1 == 1.0; the key encoding must agree so mixed
+  // int/double join columns keep matching.
+  EXPECT_EQ(KeyOf(Value::Int(1)), KeyOf(Value::Double(1.0)));
+  EXPECT_EQ(KeyOf(Value::Int(-7)), KeyOf(Value::Double(-7.0)));
+  EXPECT_NE(KeyOf(Value::Int(1)), KeyOf(Value::Double(1.5)));
+}
+
+TEST(ValueKeyRegressionTest, HashJoinSeparatesSmallDoubles) {
+  // End-to-end symptom: joining on a double column holding 1e-9 vs 2e-9
+  // produced a spurious match pre-fix (both rows landed in one bucket and
+  // the equi-atom was not re-verified on the hash path).
+  Relation a = MakeRelation("a", {"x"}, {{Value::Double(1e-9)}});
+  Relation b = MakeRelation("b", {"x"}, {{Value::Double(2e-9)}});
+  Predicate p(MakeAtom("a", "x", CmpOp::kEq, "b", "x"));
+  auto out = exec::InnerJoin(a, b, p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 0);
 }
 
 }  // namespace
