@@ -184,12 +184,16 @@ bool CrossGs(Wrapper* w, OpKind op, SideRole role, const QualSet& p_side_refs,
              const QualSet& other_quals) {
   // Does the operator predicate stay evaluable on a group's resurrections?
   // Yes iff every predicate reference into this side lies inside that
-  // group (padding outside the group makes atoms UNKNOWN).
+  // group (padding outside the group makes atoms UNKNOWN). No references
+  // at all -- a TRUE / other-side-only predicate -- is trivially
+  // evaluable: resurrections then match the other side's rows exactly as
+  // real rows do, so the group must extend with the other side rather
+  // than surviving with it padded.
   std::vector<exec::PreservedGroup> out;
   bool any_evaluable = false;
   for (const exec::PreservedGroup& g : w->groups) {
     QualSet gq(g.begin(), g.end());
-    bool evaluable = !p_side_refs.empty() && SubsetOf(p_side_refs, gq);
+    bool evaluable = SubsetOf(p_side_refs, gq);
     if (evaluable) {
       any_evaluable = true;
       exec::PreservedGroup g2 = g;
@@ -243,6 +247,13 @@ StatusOr<Side> CrossSide(Side side, OpKind op, bool is_left, Predicate* pred,
   QualSet side_quals_now = side.tree_quals;
 
   std::vector<Wrapper> crossed;
+  // Wrappers created AT this operator (deferred conjuncts of `pred`). They
+  // represent work the original evaluates at `op`, i.e. ABOVE every wrapper
+  // already in the list, so they append only after the whole list has
+  // crossed -- inserting them mid-list would slide an upper operator's
+  // filter below a lower operator's compensating GS, letting resurrected
+  // rows escape a filter the original applies to them.
+  std::vector<Wrapper> created_here;
   bool ok = true;
   for (size_t wi = 0; wi < side.wrappers.size() && ok; ++wi) {
     Wrapper w = side.wrappers[wi];
@@ -299,10 +310,28 @@ StatusOr<Side> CrossSide(Side side, OpKind op, bool is_left, Predicate* pred,
         gs.kind = Wrapper::Kind::kGeneralizedSelection;
         gs.pred = Predicate(deferred);
         if (role == SideRole::kPreserved) {
-          // The aggregate value rides with the preserved side.
+          // The aggregate value rides with the preserved side. The pulled
+          // group-by keeps no row id for this side (resurrections dedup by
+          // value; synthetic_vid is off), so a REAL group that is all-NULL
+          // on its group columns and aggregates would look exactly like
+          // padding once an operator above null-supplies this side (a FOJ
+          // placed over it by enumeration, or the GS's own compensation).
+          // Witness real groups with a constant presence flag that rides
+          // in the preserved group and is dropped at the root.
+          std::string aux_rel = "#flag" + std::to_string(ctx->next_aux);
+          std::string aux_name =
+              "present" + std::to_string(ctx->next_aux++) +
+              std::to_string(aux_counter_hint);
+          exec::AggSpec aux;
+          aux.func = exec::AggFunc::kGroupFlag;
+          aux.out_rel = aux_rel;
+          aux.out_name = aux_name;
+          w.spec.aggs.push_back(aux);
+          side.drop_cols.push_back(Attribute{aux_rel, aux_name});
           exec::PreservedGroup g(side_quals_now.begin(),
                                  side_quals_now.end());
           g.insert(agg_quals.begin(), agg_quals.end());
+          g.insert(aux_rel);
           gs.groups.push_back(std::move(g));
         } else if (op != OpKind::kInnerJoin) {
           // Null-supplied side of an outer join: groups formed purely by
@@ -333,7 +362,7 @@ StatusOr<Side> CrossSide(Side side, OpKind op, bool is_left, Predicate* pred,
         // conjuncts suffices; skip the GS if there are none.
         *pred = Predicate(kept);
         crossed.push_back(std::move(w));
-        if (!gs.pred.IsTrue()) crossed.push_back(std::move(gs));
+        if (!gs.pred.IsTrue()) created_here.push_back(std::move(gs));
         break;
       }
     }
@@ -346,6 +375,7 @@ StatusOr<Side> CrossSide(Side side, OpKind op, bool is_left, Predicate* pred,
     s.tree_quals = NodeQuals(opaque, ctx->catalog);
     return s;
   }
+  for (Wrapper& w : created_here) crossed.push_back(std::move(w));
   side.wrappers = std::move(crossed);
   return side;
 }

@@ -138,6 +138,42 @@ void Enumerator::EmitCombination(RelSet s1, const SubPlan& p1, RelSet s2,
     }
   }
 
+  // A join conjunct the original query evaluates ABOVE a (bi)directed edge
+  // (its edge was created later, id order follows the tree bottom-up) and
+  // that references the edge's null-supplied region there FILTERS the
+  // edge's padded tuples. Placing the edge's operator at this node when
+  // such a conjunct is already applied below inverts that order: padding
+  // created here escapes the filter, and no generalized-selection
+  // compensation can DELETE rows. Reject the combination.
+  if (!placing.Empty()) {
+    RelSet below = p1.applied_atoms.Union(p2.applied_atoms);
+    for (int eid : placing.ToVector()) {
+      const Hyperedge& e = h_.edge(eid);
+      auto padding_escapes = [&](RelSet null_region) {
+        for (int aid : below.ToVector()) {
+          const AtomInfo& ai = atoms_[aid];
+          const Hyperedge& ae = h_.edge(ai.edge_id);
+          if (ae.kind != EdgeKind::kUndirected) continue;
+          if (ai.edge_id <= eid) continue;  // evaluated below the edge
+          const Atom& atom = ae.atoms[ai.index_in_edge].atom;
+          if (atom.RelNames().empty()) continue;  // tautology: never UNKNOWN
+          if (ai.span.Intersects(null_region)) return true;
+        }
+        return false;
+      };
+      if (e.kind == EdgeKind::kDirected) {
+        if (padding_escapes(analysis_.SideRegion(eid, /*side1=*/false))) {
+          return;
+        }
+      } else if (e.kind == EdgeKind::kBidirected) {
+        if (padding_escapes(analysis_.SideRegion(eid, /*side1=*/true)) ||
+            padding_escapes(analysis_.SideRegion(eid, /*side1=*/false))) {
+          return;
+        }
+      }
+    }
+  }
+
   // Compensation groups for outer-join promises made below this node.
   // Applying an edge X's atoms above an already-placed (bi)directed edge h
   // needs compensation only when h CONFLICTS with X (Definition 3.3 /
@@ -153,14 +189,16 @@ void Enumerator::EmitCombination(RelSet s1, const SubPlan& p1, RelSet s2,
       applied_edges.Add(atoms_[aid].edge_id);
     }
     for (int xid : applied_edges.ToVector()) {
-      const Hyperedge& x = h_.edge(xid);
-      if (x.kind == EdgeKind::kUndirected) {
-        for (int c : analysis_.Ccoj(xid)) conflicting.Add(c);
-      }
-      for (int c : analysis_.Conf(xid)) conflicting.Add(c);
       // Outer edges whose operator the original evaluates ABOVE x: a plan
       // applying x later than them inverts the order, so their
-      // preservation promises need compensation here.
+      // preservation promises need compensation here. Edges the original
+      // evaluates below x need none -- conf/ccoj membership alone is NOT
+      // conflict here (those sets answer the different question of which
+      // promises a conjunct deferred PAST its edge's operator endangers;
+      // see Finalize). Compensating a same-order placement resurrects rows
+      // the original operator kills, e.g. (v FOJ r3) JOIN r4 with r4
+      // empty: the original join emits nothing, an MGOJ would revive the
+      // FOJ sides.
       for (const Hyperedge& h : h_.edges()) {
         if (h.kind != EdgeKind::kUndirected &&
             analysis_.OperatorAbove(h.id, xid)) {

@@ -27,12 +27,15 @@ std::string AggFuncName(AggFunc f) {
       return "AVG";
     case AggFunc::kCountPresence:
       return "COUNT_PRESENT";
+    case AggFunc::kGroupFlag:
+      return "PRESENT";
   }
   return "?";
 }
 
 bool IsDuplicateInsensitive(AggFunc f, bool distinct) {
   if (f == AggFunc::kMin || f == AggFunc::kMax) return true;
+  if (f == AggFunc::kGroupFlag) return true;
   return distinct;
 }
 
@@ -42,6 +45,7 @@ std::string AggSpec::ToString() const {
   if (func == AggFunc::kCountPresence) {
     return s + "COUNT_PRESENT(" + presence_rel + ")";
   }
+  if (func == AggFunc::kGroupFlag) return s + "PRESENT()";
   s += AggFuncName(func) + "(";
   if (distinct) s += "DISTINCT ";
   s += input ? input->ToString() : "*";
@@ -138,6 +142,8 @@ struct Accumulator {
       case AggFunc::kCount:
       case AggFunc::kCountPresence:
         return Value::Int(count);
+      case AggFunc::kGroupFlag:
+        return Value::Int(1);
       case AggFunc::kSum:
         if (count == 0) return Value::Null();
         return sum_all_int ? Value::Int(isum) : Value::Double(sum);
@@ -227,7 +233,7 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
     for (size_t k = 0; k < spec.aggs.size(); ++k) {
       const AggSpec& a = spec.aggs[k];
       Value v;
-      if (a.func == AggFunc::kCountStar) {
+      if (a.func == AggFunc::kCountStar || a.func == AggFunc::kGroupFlag) {
         v = Value::Int(1);
       } else if (a.func == AggFunc::kCountPresence) {
         v = (t.vids[presence_idx[k]] == kNullRowId) ? Value::Null()

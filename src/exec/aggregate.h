@@ -28,6 +28,16 @@ enum class AggFunc {
   // Aggregation pull-up through the null-supplying side of an outer join
   // uses this to distinguish real groups from padding-phantoms.
   kCountPresence,
+  // Constant 1 for every group (a group has at least one input row by
+  // construction). A pulled group-by keeps no row id for the view side
+  // (synthetic_vid is off so resurrections deduplicate by value), so a
+  // REAL group that is all-NULL on its group columns and aggregates would
+  // be indistinguishable from outer-join padding above it. This flag rides
+  // in the compensation's preserved group as the witness: padding nulls
+  // it, real rows carry 1. Unlike kCountPresence its value never varies
+  // across the cells of one original group, so value-keyed resurrection
+  // dedup is unaffected.
+  kGroupFlag,
 };
 
 std::string AggFuncName(AggFunc f);

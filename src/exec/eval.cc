@@ -398,20 +398,11 @@ StatusOr<Relation> OuterUnion(const Relation& a, const Relation& b,
 StatusOr<Relation> GeneralizedSelection(
     const Relation& r, const Predicate& p,
     const std::vector<PreservedGroup>& groups, const ExecContext& ctx) {
-  // Pairwise-disjointness is a precondition of Definition 2.1. Hand-built
-  // plans can violate it, so it is an input error, not an invariant.
-  for (size_t i = 0; i < groups.size(); ++i) {
-    for (size_t j = i + 1; j < groups.size(); ++j) {
-      for (const std::string& rel : groups[i]) {
-        if (groups[j].count(rel) != 0) {
-          return Status::InvalidArgument(
-              "generalized selection: preserved groups must be disjoint "
-              "(relation " +
-              rel + " appears twice)");
-        }
-      }
-    }
-  }
+  // Definition 2.1 states pairwise-disjoint preserved relations, but the
+  // resurrection pass below handles every group independently, so
+  // overlapping groups execute fine -- and the Theorem-1 ride-along
+  // extension legitimately produces them (a relation joined above an edge
+  // by an always-evaluable predicate rides with both sides).
 
   // The internal selection pass shares the budget and executor but not the
   // stats node: GS accounts for its own input/output exactly once and

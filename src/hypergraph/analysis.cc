@@ -49,24 +49,63 @@ RelSet HypergraphAnalysis::ReachingSet(RelSet targets,
 }
 
 RelSet HypergraphAnalysis::PresSide(int edge, bool side1) const {
+  // Trace the fate of a tuple that this edge's operator pads: it keeps the
+  // chosen side's columns REAL and null-pads the other operand, then climbs
+  // the original operator tree. Each ancestor operator either
+  //   - stays evaluable (its non-tautology atoms avoid every padded
+  //     column): the padded tuple joins like a real one and the ancestor's
+  //     other operand RIDES along -- its columns are real in the group;
+  //   - goes UNKNOWN: a join filter KILLS the tuple (no group at all), a
+  //     directed edge null-supplying our chain DROPS it likewise, and a
+  //     directed edge preserving us (or a full outer join) pads the other
+  //     operand too -- those columns stay out of the group.
+  // Operand subtrees (below1/below2, recorded at build time) give the true
+  // above/below order. Reachability floods cannot: sibling subtrees get
+  // value-connected into far regions through ancestors above both (cf. Q5,
+  // where r5-r6 is a sibling of the FOJ, not above it).
   const Hyperedge& e = h_.edge(edge);
-  RelSet side = side1 ? e.v1 : e.v2;
-  RelSet other = side1 ? e.v2 : e.v1;
-  // Relations on the far (null-supplied) side of the edge. A relation can
-  // only "ride along" with the preserved side if the operator connecting it
-  // stays evaluable on tuples padded over that far region; any edge whose
-  // predicate touches the far region goes UNKNOWN on padded tuples, so the
-  // relations behind it do not attach (cf. Q6: pres(h2) = {r1, r2} but the
-  // compensation group for the deferred conjunct is {r2} with the conflict
-  // side {r1} separate; cf. Q5: r1..r3 DO ride with r4 because no edge on
-  // that side touches {r5, r6}).
-  RelSet far_region = ReachingSet(other, RelSet::Single(edge));
-  RelSet banned = RelSet::Single(edge);
-  for (const Hyperedge& cand : h_.edges()) {
-    if (cand.id == edge) continue;
-    if (cand.Endpoints().Intersects(far_region)) banned.Add(cand.id);
+  RelSet real = side1 ? e.below1 : e.below2;
+  RelSet padded = side1 ? e.below2 : e.below1;
+  RelSet mine = e.BelowAll();
+  // Ancestors: edges whose combined operand subtrees strictly contain
+  // this edge's. The subtrees form a laminar family, so sorting by size
+  // walks the ancestor chain innermost-first.
+  std::vector<int> anc;
+  for (const Hyperedge& a : h_.edges()) {
+    if (a.id == edge) continue;
+    RelSet ab = a.BelowAll();
+    if (ab.ContainsAll(mine) && ab != mine) anc.push_back(a.id);
   }
-  return ReachingSet(side, banned);
+  std::sort(anc.begin(), anc.end(), [&](int x, int y) {
+    return h_.edge(x).BelowAll().Count() < h_.edge(y).BelowAll().Count();
+  });
+  for (int aid : anc) {
+    const Hyperedge& a = h_.edge(aid);
+    // Which operand of the ancestor holds our chain? (Intersects as a
+    // best-effort fallback for hand-built graphs with default below sets.)
+    bool ours_is_b1 = a.below1.ContainsAll(mine) ||
+                      (!a.below2.ContainsAll(mine) && a.below1.Intersects(mine));
+    RelSet other = ours_is_b1 ? a.below2 : a.below1;
+    bool unknown = false;
+    for (const EdgeAtom& ea : a.atoms) {
+      if (ea.atom.RelNames().empty()) continue;  // tautology: never UNKNOWN
+      if (ea.span.Intersects(padded)) {
+        unknown = true;
+        break;
+      }
+    }
+    if (!unknown) {
+      real = real.Union(other);
+    } else if (a.kind == EdgeKind::kUndirected) {
+      return RelSet();  // filter kills the padded tuple: no group
+    } else if (a.kind == EdgeKind::kDirected && !ours_is_b1) {
+      return RelSet();  // null-supplied side fails to join: dropped
+    } else {
+      padded = padded.Union(other);  // survives, padded further
+    }
+    mine = a.BelowAll();
+  }
+  return real;
 }
 
 RelSet HypergraphAnalysis::Pres(int edge) const {
@@ -100,6 +139,11 @@ RelSet HypergraphAnalysis::PresAway(int edge, int away_edge) const {
   // and preserve both sides separately is impossible here, so return the
   // union; DeferredGroups' subsumption handles duplicates.
   return s1.Union(s2);
+}
+
+RelSet HypergraphAnalysis::SideRegion(int edge, bool side1) const {
+  const Hyperedge& e = h_.edge(edge);
+  return ReachingSet(side1 ? e.v1 : e.v2, RelSet::Single(edge));
 }
 
 bool HypergraphAnalysis::OperatorAbove(int outer, int inner) const {
@@ -218,6 +262,11 @@ std::vector<RelSet> HypergraphAnalysis::DeferredGroups(int edge) const {
       for (int hi : Conf(edge)) groups.push_back(PresAway(hi, edge));
       break;
   }
+  // A side whose padded tuples die above (PresSide returned empty) has
+  // nothing to resurrect; drop it before subsumption.
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const RelSet& g) { return g.Empty(); }),
+               groups.end());
   // Drop groups subsumed by another group (a composite preserved relation
   // covers every sub-projection of itself), then require disjointness.
   std::vector<RelSet> kept;
@@ -233,22 +282,10 @@ std::vector<RelSet> HypergraphAnalysis::DeferredGroups(int edge) const {
     }
     if (!subsumed) kept.push_back(groups[i]);
   }
-  // Union any remaining overlaps (GS preserved relations must be disjoint;
-  // overlap beyond subsumption does not arise on acyclic query hypergraphs,
-  // but the equivalence property suites guard semantics either way).
-  bool merged = true;
-  while (merged) {
-    merged = false;
-    for (size_t i = 0; i < kept.size() && !merged; ++i) {
-      for (size_t j = i + 1; j < kept.size() && !merged; ++j) {
-        if (kept[i].Intersects(kept[j])) {
-          kept[i] = kept[i].Union(kept[j]);
-          kept.erase(kept.begin() + static_cast<long>(j));
-          merged = true;
-        }
-      }
-    }
-  }
+  // Overlapping groups stay separate: ride-along extension routinely puts
+  // a relation joined above the edge by an always-evaluable predicate into
+  // BOTH sides' groups (each side's resurrections pair with its rows), and
+  // the executor resurrects every group independently.
   return kept;
 }
 

@@ -57,6 +57,10 @@ class HypergraphAnalysis {
   // `outer`'s preservation compensated at the inversion point.
   bool OperatorAbove(int outer, int inner) const;
 
+  // Relations reachable from the edge's v1 / v2 hypernode without crossing
+  // the edge: its operand-side region in the original query.
+  RelSet SideRegion(int edge, bool side1) const;
+
   // Theorem 1: preserved groups for a generalized selection applying a
   // deferred conjunct of `edge` at the root. Groups subsumed by another
   // group are dropped (a composite group covers its sub-projections).

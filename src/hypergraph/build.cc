@@ -54,6 +54,7 @@ StatusOr<RelSet> AddEdges(const NodePtr& node, Hypergraph* h) {
 
   EdgeKind kind = EdgeKind::kUndirected;
   RelSet v1 = refs_l, v2 = refs_r;
+  RelSet b1 = l, b2 = r;
   switch (node->kind()) {
     case OpKind::kInnerJoin:
       break;
@@ -64,6 +65,8 @@ StatusOr<RelSet> AddEdges(const NodePtr& node, Hypergraph* h) {
       kind = EdgeKind::kDirected;  // normalize: preserved side first
       v1 = refs_r;
       v2 = refs_l;
+      b1 = r;
+      b2 = l;
       break;
     case OpKind::kFullOuterJoin:
       kind = EdgeKind::kBidirected;
@@ -72,7 +75,8 @@ StatusOr<RelSet> AddEdges(const NodePtr& node, Hypergraph* h) {
       return Status::InvalidArgument("unsupported operator " +
                                      OpKindName(node->kind()));
   }
-  GSOPT_ASSIGN_OR_RETURN(int edge_id, h->AddEdge(kind, v1, v2, node->pred()));
+  GSOPT_ASSIGN_OR_RETURN(int edge_id,
+                         h->AddEdge(kind, v1, v2, node->pred(), b1, b2));
   (void)edge_id;
   return l.Union(r);
 }

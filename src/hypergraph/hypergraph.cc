@@ -39,18 +39,27 @@ int Hypergraph::RelId(const std::string& name) const {
 }
 
 StatusOr<int> Hypergraph::AddEdge(EdgeKind kind, RelSet v1, RelSet v2,
-                                  const Predicate& pred) {
+                                  const Predicate& pred, RelSet below1,
+                                  RelSet below2) {
   if (v1.Empty() || v2.Empty()) {
     return Status::InvalidArgument("hyperedge hypernodes must be non-empty");
   }
   if (v1.Intersects(v2)) {
     return Status::InvalidArgument("hypernodes must be disjoint");
   }
+  if (below1.Empty()) below1 = v1;
+  if (below2.Empty()) below2 = v2;
+  if (!below1.ContainsAll(v1) || !below2.ContainsAll(v2)) {
+    return Status::InvalidArgument(
+        "operand subtree sets must cover their hypernodes");
+  }
   Hyperedge e;
   e.id = NumEdges();
   e.kind = kind;
   e.v1 = v1;
   e.v2 = v2;
+  e.below1 = below1;
+  e.below2 = below2;
   RelSet endpoints = v1.Union(v2);
   for (const Atom& a : pred.atoms()) {
     EdgeAtom ea;

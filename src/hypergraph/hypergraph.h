@@ -38,7 +38,15 @@ struct Hyperedge {
   // as written in the query.
   RelSet v1, v2;
   std::vector<EdgeAtom> atoms;
+  // Operand subtree relation sets at the operator's node in the original
+  // query (below1 holds v1, below2 holds v2). Default to the hypernodes
+  // when the builder does not supply them (hand-built graphs). These give
+  // the true above/below operator order, which reachability floods cannot
+  // recover: a sibling subtree's relations can be value-connected to a
+  // region without its operators ever meeting that region's tuples.
+  RelSet below1, below2;
 
+  RelSet BelowAll() const { return below1.Union(below2); }
   RelSet Endpoints() const { return v1.Union(v2); }
   bool IsComplex() const { return Endpoints().Count() > 2; }
   bool IsSimpleEdge() const { return v1.Count() == 1 && v2.Count() == 1; }
@@ -65,9 +73,12 @@ class Hypergraph {
   int AddUnit(const std::string& name,
               const std::vector<std::string>& qualifiers);
   // Adds an edge; every atom's span is resolved against registered
-  // relations. All atom spans must be subsets of v1 | v2.
+  // relations. All atom spans must be subsets of v1 | v2. `below1` /
+  // `below2` are the operand subtree relation sets (the v1-side operand
+  // first); when empty they default to the hypernodes themselves.
   StatusOr<int> AddEdge(EdgeKind kind, RelSet v1, RelSet v2,
-                        const Predicate& pred);
+                        const Predicate& pred, RelSet below1 = RelSet(),
+                        RelSet below2 = RelSet());
 
   // --- accessors ---
   int NumRelations() const { return static_cast<int>(rel_names_.size()); }

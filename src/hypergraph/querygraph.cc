@@ -89,6 +89,7 @@ struct Builder {
     }
     EdgeKind kind = EdgeKind::kUndirected;
     RelSet v1 = refs_l, v2 = refs_r;
+    RelSet b1 = l, b2 = r;
     switch (node->kind()) {
       case OpKind::kInnerJoin:
         break;
@@ -99,6 +100,8 @@ struct Builder {
         kind = EdgeKind::kDirected;
         v1 = refs_r;
         v2 = refs_l;
+        b1 = r;
+        b2 = l;
         break;
       case OpKind::kFullOuterJoin:
         kind = EdgeKind::kBidirected;
@@ -107,7 +110,7 @@ struct Builder {
         return Status::Internal("unexpected operator");
     }
     GSOPT_ASSIGN_OR_RETURN(
-        int id, out->hypergraph.AddEdge(kind, v1, v2, node->pred()));
+        int id, out->hypergraph.AddEdge(kind, v1, v2, node->pred(), b1, b2));
     (void)id;
     return l.Union(r);
   }

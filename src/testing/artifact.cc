@@ -1,0 +1,120 @@
+#include "testing/artifact.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "relational/csv.h"
+#include "sql/binder.h"
+#include "testing/sql_emit.h"
+
+namespace gsopt::testing {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path.string());
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("write failed for " + path.string());
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Status WriteRepro(const std::string& dir, const NodePtr& query,
+                  const Catalog& catalog, uint64_t seed,
+                  const std::string& note) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create " + dir + ": " + ec.message());
+
+  std::string sql_note;
+  auto emitted = EmitSql(query, catalog);
+  if (emitted.ok()) {
+    GSOPT_RETURN_IF_ERROR(WriteFile(fs::path(dir) / "query.sql",
+                                    emitted->sql + "\n"));
+  } else {
+    sql_note = "no SQL form: " + emitted.status().ToString();
+    GSOPT_RETURN_IF_ERROR(WriteFile(fs::path(dir) / "query.algebra",
+                                    query->ToString() + "\n"));
+  }
+
+  for (const std::string& table : catalog.TableNames()) {
+    const Relation* rel = catalog.Find(table);
+    GSOPT_CHECK(rel != nullptr);
+    GSOPT_RETURN_IF_ERROR(
+        WriteFile(fs::path(dir) / (table + ".csv"), ToCsv(*rel)));
+  }
+
+  std::ostringstream readme;
+  readme << "seed: " << seed << "\n";
+  readme << note << "\n";
+  if (!sql_note.empty()) readme << sql_note << "\n";
+  readme << "algebra: " << query->ToString() << "\n";
+  return WriteFile(fs::path(dir) / "README.txt", readme.str());
+}
+
+StatusOr<LoadedRepro> LoadRepro(const std::string& dir) {
+  fs::path root(dir);
+  if (!fs::exists(root / "query.sql")) {
+    if (fs::exists(root / "query.algebra")) {
+      return Status::Unimplemented(dir + " has no SQL form (query.algebra "
+                                         "only); cannot re-bind");
+    }
+    return Status::NotFound("no query.sql in " + dir);
+  }
+  LoadedRepro repro;
+  GSOPT_ASSIGN_OR_RETURN(repro.sql, ReadFile(root / "query.sql"));
+  // Strip trailing whitespace/newlines so the parser sees one statement.
+  while (!repro.sql.empty() &&
+         (repro.sql.back() == '\n' || repro.sql.back() == '\r' ||
+          repro.sql.back() == ' ')) {
+    repro.sql.pop_back();
+  }
+
+  std::vector<fs::path> csvs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.path().extension() == ".csv") csvs.push_back(entry.path());
+  }
+  if (ec) return Status::Internal("cannot list " + dir + ": " + ec.message());
+  std::sort(csvs.begin(), csvs.end());
+  for (const fs::path& csv : csvs) {
+    GSOPT_RETURN_IF_ERROR(
+        LoadCsvFile(csv.string(), csv.stem().string(), &repro.catalog));
+  }
+
+  GSOPT_ASSIGN_OR_RETURN(repro.query,
+                         sql::ParseAndBind(repro.sql, repro.catalog));
+  return repro;
+}
+
+StatusOr<std::vector<std::string>> ListReproDirs(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;  // empty corpus is fine
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_directory() && fs::exists(entry.path() / "query.sql")) {
+      out.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::Internal("cannot list " + dir + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gsopt::testing

@@ -1,0 +1,43 @@
+// Self-contained failure reproducers and the seed corpus format. A repro
+// directory holds:
+//   query.sql      -- the query as SQL text (when expressible), OR
+//   query.algebra  -- the algebra rendering for trees outside SQL
+//   <table>.csv    -- one CSV per base table (header + rows)
+//   README.txt     -- seed, oracle, human-readable detail
+// tests/corpus/ checks these directories in as regression cases; the fuzz
+// driver writes new ones for every minimized failure.
+#ifndef GSOPT_TESTING_ARTIFACT_H_
+#define GSOPT_TESTING_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+
+namespace gsopt::testing {
+
+// Writes a reproducer under `dir` (created if needed, contents replaced).
+Status WriteRepro(const std::string& dir, const NodePtr& query,
+                  const Catalog& catalog, uint64_t seed,
+                  const std::string& note);
+
+struct LoadedRepro {
+  std::string sql;
+  NodePtr query;    // bound from query.sql against the loaded tables
+  Catalog catalog;  // one table per CSV file in the directory
+};
+
+// Loads a repro directory written by WriteRepro (or hand-authored with the
+// same layout). Directories holding only query.algebra (no SQL form) fail
+// with kUnimplemented -- they document, but cannot re-bind.
+StatusOr<LoadedRepro> LoadRepro(const std::string& dir);
+
+// All subdirectories of `dir` containing a query.sql, sorted by name.
+StatusOr<std::vector<std::string>> ListReproDirs(const std::string& dir);
+
+}  // namespace gsopt::testing
+
+#endif  // GSOPT_TESTING_ARTIFACT_H_

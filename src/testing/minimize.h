@@ -1,0 +1,44 @@
+// Delta-debugging minimizer: given a query + catalog on which an oracle
+// failed, greedily shrinks the failure to a minimal reproducer --
+//  * tree reductions: drop base relations (rebuilding predicates, GROUP BY
+//    specs and projections to only reference what remains) and strip
+//    wrapper operators;
+//  * predicate reductions: drop conjuncts one at a time;
+//  * data reductions: ddmin-style row removal per base table, halving
+//    chunk sizes down to single rows.
+// A candidate counts as reproducing only if the SAME oracle kind fails on
+// it (probed with fixed RNG seeds, so minimization is deterministic).
+#ifndef GSOPT_TESTING_MINIMIZE_H_
+#define GSOPT_TESTING_MINIMIZE_H_
+
+#include "algebra/node.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+#include "testing/oracles.h"
+
+namespace gsopt::testing {
+
+struct MinimizeOptions {
+  OracleOptions oracle;
+  // Full reduction passes (each pass retries every reduction class).
+  int max_rounds = 6;
+};
+
+struct MinimizedCase {
+  NodePtr query;
+  Catalog catalog;
+  OracleFailure failure;  // as reproduced on the minimized case
+  // False when the original failure did not reproduce under the probe
+  // seeds (e.g. an RNG-position-dependent TLP pick); the original case is
+  // returned unreduced so the artifact still captures it.
+  bool reproduced = false;
+  int reductions = 0;  // successful reduction steps across all classes
+};
+
+StatusOr<MinimizedCase> Minimize(const NodePtr& query, const Catalog& catalog,
+                                 const OracleFailure& original,
+                                 const MinimizeOptions& options);
+
+}  // namespace gsopt::testing
+
+#endif  // GSOPT_TESTING_MINIMIZE_H_

@@ -1,0 +1,377 @@
+#include "testing/oracles.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "algebra/execute.h"
+#include "base/budget.h"
+#include "core/optimizer.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "testing/sql_emit.h"
+
+namespace gsopt::testing {
+
+namespace {
+
+std::string Truncate(std::string s, size_t cap = 400) {
+  if (s.size() > cap) {
+    s.resize(cap);
+    s += "...";
+  }
+  return s;
+}
+
+// Canonical per-row keys over the visible extension only (columns in
+// qualified-name order, virtual attributes ignored), so results from plans
+// with different output column orders can be unioned and compared as
+// multisets -- the same notion of equality as Relation::BagEquals.
+std::vector<std::string> CanonicalRowKeys(const Relation& r) {
+  std::vector<std::pair<std::string, int>> order;
+  for (int i = 0; i < r.schema().size(); ++i) {
+    order.push_back({r.schema().attr(i).Qualified(), i});
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(r.NumRows()));
+  for (const Tuple& t : r.rows()) {
+    std::string key;
+    for (const auto& [name, idx] : order) {
+      const Value& v = t.values[static_cast<size_t>(idx)];
+      key += std::to_string(static_cast<int>(v.type()));
+      key += ':';
+      key += v.ToString();
+      key += '|';
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+class OracleRunner {
+ public:
+  OracleRunner(const NodePtr& query, const Catalog& catalog,
+               const OracleOptions& options, Rng* rng)
+      : query_(query), catalog_(catalog), opt_(options), rng_(rng) {}
+
+  StatusOr<OracleOutcome> Run();
+
+ private:
+  // Executes under a fresh row budget. kResourceExhausted surfaces to the
+  // caller (which skips the candidate); other errors propagate.
+  StatusOr<Relation> Exec(const NodePtr& n, exec::Executor* executor = nullptr) {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    ExecuteOptions eo;
+    eo.budget = &budget;
+    eo.executor = executor;
+    return Execute(n, catalog_, eo);
+  }
+
+  // Executes a candidate whose result flows into a comparison: applies the
+  // fault-injection hook (when configured) so harness self-tests can fake
+  // a wrong answer on every checked path.
+  StatusOr<Relation> ExecChecked(const NodePtr& n,
+                                 exec::Executor* executor = nullptr) {
+    GSOPT_ASSIGN_OR_RETURN(Relation r, Exec(n, executor));
+    if (opt_.mutate_checked_result) opt_.mutate_checked_result(&r);
+    return r;
+  }
+
+  void Fail(OracleKind kind, std::string detail) {
+    if (outcome_.failed) return;  // first failure wins
+    outcome_.failed = true;
+    outcome_.failure = OracleFailure{kind, Truncate(std::move(detail))};
+  }
+
+  // True if the status is a budget skip (counted); false propagates/fails.
+  bool Skipped(const Status& s) {
+    if (s.code() == StatusCode::kResourceExhausted) {
+      ++outcome_.plans_skipped;
+      return true;
+    }
+    return false;
+  }
+
+  void RunPlanSpace();
+  void RunExecutor();
+  void RunDegradation();
+  void RunTlp();
+  void RunRoundTrip();
+
+  const NodePtr& query_;
+  const Catalog& catalog_;
+  const OracleOptions& opt_;
+  Rng* rng_;
+  Relation baseline_;
+  OracleOutcome outcome_;
+};
+
+void OracleRunner::RunPlanSpace() {
+  ++outcome_.oracles_run;
+  QueryOptimizer optimizer(catalog_);
+  OptimizeOptions oo;
+  oo.mode = EnumMode::kGeneralized;
+  oo.prune = false;  // the full space, not just the DP frontier
+  oo.max_plans = opt_.max_plans;
+  auto space = optimizer.EnumeratePlanSpace(query_, oo);
+  if (!space.ok()) {
+    Fail(OracleKind::kPlanSpace,
+         "plan-space enumeration failed: " + space.status().ToString());
+    return;
+  }
+  for (size_t i = 0; i < space->plans.size(); ++i) {
+    auto got = ExecChecked(space->plans[i].expr);
+    if (!got.ok()) {
+      if (Skipped(got.status())) continue;
+      Fail(OracleKind::kPlanSpace, "plan " + std::to_string(i) +
+                                       " failed to execute: " +
+                                       got.status().ToString() + " plan=" +
+                                       space->plans[i].expr->ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kPlanSpace,
+           "plan " + std::to_string(i) + "/" +
+               std::to_string(space->plans.size()) +
+               " diverges from the syntactic result; plan=" +
+               space->plans[i].expr->ToString());
+      return;
+    }
+  }
+}
+
+void OracleRunner::RunExecutor() {
+  ++outcome_.oracles_run;
+  for (int lanes : opt_.lane_counts) {
+    exec::Executor executor(lanes);
+    // Force the parallel kernel paths onto small fuzz-sized inputs.
+    executor.set_min_parallel_rows(1);
+    executor.set_morsel_rows(7);
+    auto got = ExecChecked(query_, &executor);
+    if (!got.ok()) {
+      if (Skipped(got.status())) continue;
+      Fail(OracleKind::kExecutor,
+           "parallel execution (" + std::to_string(lanes) +
+               " lanes) failed: " + got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kExecutor,
+           "parallel result (" + std::to_string(lanes) +
+               " lanes) diverges from serial");
+      return;
+    }
+  }
+}
+
+void OracleRunner::RunDegradation() {
+  ++outcome_.oracles_run;
+  QueryOptimizer optimizer(catalog_);
+  auto check_best = [&](const OptimizeOptions& oo, const std::string& label) {
+    auto result = optimizer.Optimize(query_, oo);
+    if (!result.ok()) {
+      Fail(OracleKind::kDegradation,
+           label + " rung failed to optimize: " + result.status().ToString());
+      return false;
+    }
+    auto got = ExecChecked(result->best.expr);
+    if (!got.ok()) {
+      if (Skipped(got.status())) return true;
+      Fail(OracleKind::kDegradation,
+           label + " rung plan failed to execute: " + got.status().ToString() +
+               " plan=" + result->best.expr->ToString());
+      return false;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kDegradation,
+           label + " rung plan diverges from the syntactic result; plan=" +
+               result->best.expr->ToString());
+      return false;
+    }
+    return true;
+  };
+
+  for (EnumMode mode :
+       {EnumMode::kGeneralized, EnumMode::kBaseline, EnumMode::kBinaryOnly}) {
+    OptimizeOptions oo;
+    oo.mode = mode;
+    oo.max_plans = std::max<size_t>(opt_.max_plans, 16);
+    if (!check_best(oo, EnumModeName(mode))) return;
+  }
+  // The terminal rung, reached the way production reaches it: a budget
+  // that expires immediately forces the ladder all the way down.
+  ResourceBudget expired;
+  expired.WithDeadlineAfter(std::chrono::microseconds(0));
+  OptimizeOptions oo;
+  oo.budget = &expired;
+  oo.fallback = true;
+  check_best(oo, "syntactic");
+}
+
+void OracleRunner::RunTlp() {
+  ++outcome_.oracles_run;
+  if (baseline_.schema().size() == 0) return;
+
+  // Random visible column c and pivot k (drawn from c's actual values when
+  // any are non-null). Under 3VL exactly one of `c <= k`, `c > k`,
+  // `c IS NULL` holds per row, so the three partitions tile the result.
+  int col = static_cast<int>(
+      rng_->Uniform(0, static_cast<int64_t>(baseline_.schema().size()) - 1));
+  const Attribute& attr = baseline_.schema().attr(col);
+  std::vector<const Value*> non_null;
+  for (const Tuple& t : baseline_.rows()) {
+    const Value& v = t.values[static_cast<size_t>(col)];
+    if (!v.is_null()) non_null.push_back(&v);
+  }
+  Value pivot = Value::Int(0);
+  if (!non_null.empty()) {
+    pivot = *non_null[static_cast<size_t>(
+        rng_->Uniform(0, static_cast<int64_t>(non_null.size()) - 1))];
+  }
+
+  auto branch = [&](CmpOp op) {
+    Atom a;
+    a.lhs = Scalar::Column(attr.rel, attr.name);
+    a.op = op;
+    a.rhs = Scalar::Const(pivot);
+    return Node::Select(query_, Predicate(a));
+  };
+  NodePtr parts[3] = {branch(CmpOp::kLe), branch(CmpOp::kGt),
+                      Node::Select(query_, Predicate(MakeIsNullAtom(
+                                               attr.rel, attr.name,
+                                               /*negated=*/false)))};
+  const char* part_names[3] = {"p", "NOT p", "p IS NULL"};
+
+  // Each partition runs through the full optimizer (the added selection
+  // perturbs normalization and enumeration), then the union of the three
+  // must tile the unpartitioned baseline.
+  QueryOptimizer optimizer(catalog_);
+  std::vector<std::string> united;
+  for (int i = 0; i < 3; ++i) {
+    OptimizeOptions oo;
+    oo.max_plans = std::max<size_t>(opt_.max_plans, 16);
+    auto result = optimizer.Optimize(parts[i], oo);
+    if (!result.ok()) {
+      Fail(OracleKind::kTlp,
+           std::string("partition ") + part_names[i] + " on " +
+               attr.Qualified() + " failed to optimize: " +
+               result.status().ToString());
+      return;
+    }
+    auto got = ExecChecked(result->best.expr);
+    if (!got.ok()) {
+      if (Skipped(got.status())) return;  // cannot tile without all three
+      Fail(OracleKind::kTlp, std::string("partition ") + part_names[i] +
+                                 " failed to execute: " +
+                                 got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    std::vector<std::string> keys = CanonicalRowKeys(*got);
+    united.insert(united.end(), keys.begin(), keys.end());
+  }
+  std::vector<std::string> expected = CanonicalRowKeys(baseline_);
+  std::sort(united.begin(), united.end());
+  std::sort(expected.begin(), expected.end());
+  if (united != expected) {
+    Fail(OracleKind::kTlp,
+         "TLP partitions on " + attr.Qualified() + " (pivot " +
+             pivot.ToString() + ") union to " +
+             std::to_string(united.size()) + " rows, expected " +
+             std::to_string(expected.size()) +
+             " (or same count, different rows)");
+  }
+}
+
+void OracleRunner::RunRoundTrip() {
+  auto emitted = EmitSql(query_, catalog_);
+  if (!emitted.ok()) {
+    if (emitted.status().code() == StatusCode::kUnimplemented) {
+      return;  // outside the SQL surface; not an error
+    }
+    Fail(OracleKind::kRoundTrip,
+         "SQL emission failed: " + emitted.status().ToString());
+    return;
+  }
+  ++outcome_.oracles_run;
+  auto bound = sql::ParseAndBind(emitted->sql, catalog_);
+  if (!bound.ok()) {
+    Fail(OracleKind::kRoundTrip, "emitted SQL failed to re-bind: " +
+                                     bound.status().ToString() + " sql=" +
+                                     emitted->sql);
+    return;
+  }
+  auto expected = Exec(emitted->reference);
+  auto got = ExecChecked(*bound);
+  if (!expected.ok() || !got.ok()) {
+    const Status& bad = !expected.ok() ? expected.status() : got.status();
+    if (Skipped(bad)) return;
+    Fail(OracleKind::kRoundTrip,
+         "round-trip execution failed: " + bad.ToString() + " sql=" +
+             emitted->sql);
+    return;
+  }
+  ++outcome_.plans_checked;
+  if (!Relation::BagEquals(*expected, *got)) {
+    Fail(OracleKind::kRoundTrip,
+         "re-bound SQL diverges from the original tree; sql=" + emitted->sql);
+  }
+}
+
+StatusOr<OracleOutcome> OracleRunner::Run() {
+  auto baseline = Exec(query_);
+  if (!baseline.ok()) {
+    if (baseline.status().code() == StatusCode::kResourceExhausted) {
+      outcome_.skipped = true;
+      return outcome_;
+    }
+    return baseline.status();  // generator bug or harness problem: loud
+  }
+  baseline_ = std::move(*baseline);
+
+  if (opt_.run_plan_space && !outcome_.failed) RunPlanSpace();
+  if (opt_.run_executor && !outcome_.failed) RunExecutor();
+  if (opt_.run_degradation && !outcome_.failed) RunDegradation();
+  if (opt_.run_tlp && !outcome_.failed) RunTlp();
+  if (opt_.run_round_trip && !outcome_.failed) RunRoundTrip();
+  return outcome_;
+}
+
+}  // namespace
+
+std::string OracleKindName(OracleKind k) {
+  switch (k) {
+    case OracleKind::kPlanSpace: return "plan-space";
+    case OracleKind::kExecutor: return "executor";
+    case OracleKind::kDegradation: return "degradation";
+    case OracleKind::kTlp: return "tlp";
+    case OracleKind::kRoundTrip: return "round-trip";
+  }
+  return "?";
+}
+
+std::string OracleOutcome::ToString() const {
+  if (skipped) return "skipped (baseline over budget)";
+  if (failed) {
+    return "FAIL [" + OracleKindName(failure.kind) + "] " + failure.detail;
+  }
+  return "ok (" + std::to_string(oracles_run) + " oracles, " +
+         std::to_string(plans_checked) + " plans checked, " +
+         std::to_string(plans_skipped) + " skipped)";
+}
+
+StatusOr<OracleOutcome> CheckQuery(const NodePtr& query,
+                                   const Catalog& catalog,
+                                   const OracleOptions& options, Rng* rng) {
+  if (query == nullptr) return Status::InvalidArgument("null query");
+  OracleRunner runner(query, catalog, options, rng);
+  return runner.Run();
+}
+
+}  // namespace gsopt::testing

@@ -1,0 +1,100 @@
+// Composable correctness oracles for the metamorphic fuzz harness. Each
+// oracle compares some transformation of a query against its syntactic
+// (as-written, serial) execution, which is the repo's ground truth:
+//
+//  * plan space   -- every enumerated association-tree plan bag-equals the
+//                    syntactic result (the paper's Theorem 1 claim);
+//  * executor     -- the morsel-parallel executor matches serial at every
+//                    lane count;
+//  * degradation  -- every fallback-ladder rung (generalized, baseline,
+//                    binary-only, syntactic) still answers correctly;
+//  * TLP          -- partitioning any visible column c by `c <= k`,
+//                    `c > k`, `c IS NULL` and unioning the three optimized
+//                    partitions reproduces the unpartitioned result
+//                    (ternary-logic partitioning: exactly one branch is
+//                    TRUE per row under 3VL, so this stresses the
+//                    null-padding semantics GS compensation depends on);
+//  * round trip   -- emit SQL text, re-parse and re-bind it, and the bound
+//                    tree bag-equals the original.
+//
+// Budget-exhausted plan executions are skipped (counted), not failed, so
+// one pathological cross product cannot wedge a fuzz run.
+#ifndef GSOPT_TESTING_ORACLES_H_
+#define GSOPT_TESTING_ORACLES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algebra/node.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "relational/catalog.h"
+
+namespace gsopt::testing {
+
+enum class OracleKind {
+  kPlanSpace,
+  kExecutor,
+  kDegradation,
+  kTlp,
+  kRoundTrip,
+};
+
+std::string OracleKindName(OracleKind k);
+
+struct OracleOptions {
+  bool run_plan_space = true;
+  bool run_executor = true;
+  bool run_degradation = true;
+  bool run_tlp = true;
+  bool run_round_trip = true;
+
+  // Plan-space cap per query (enumeration truncates, never fails).
+  size_t max_plans = 64;
+  // Per-execution row budget; exhausting it skips that candidate.
+  uint64_t max_rows_per_exec = 500000;
+  // Lane counts the executor oracle cross-checks against serial.
+  std::vector<int> lane_counts = {2, 4};
+
+  // Test-only fault injection: applied to every result produced through
+  // the *checked* path (optimized plans, parallel runs, TLP partitions,
+  // re-bound round trips) but never to the syntactic baseline. Lets the
+  // harness's own failure -> minimize -> artifact path be exercised
+  // deterministically without patching a kernel.
+  std::function<void(Relation*)> mutate_checked_result;
+};
+
+// One oracle violation, with enough context to reproduce by hand.
+struct OracleFailure {
+  OracleKind kind = OracleKind::kPlanSpace;
+  std::string detail;
+};
+
+struct OracleOutcome {
+  // The whole case was abandoned: the syntactic baseline itself blew the
+  // row budget (counted by the driver, never a failure).
+  bool skipped = false;
+  bool failed = false;
+  OracleFailure failure;  // meaningful when `failed`
+
+  // Work accounting for the driver's summary.
+  size_t plans_checked = 0;
+  size_t plans_skipped = 0;
+  size_t oracles_run = 0;
+
+  std::string ToString() const;
+};
+
+// Runs every enabled oracle against `query` on `catalog`. `rng` drives the
+// TLP oracle's column/pivot choice; determinism comes from the caller
+// seeding it per case. Returns non-OK only for harness-level errors
+// (oracle violations are reported in the outcome, not the status).
+StatusOr<OracleOutcome> CheckQuery(const NodePtr& query,
+                                   const Catalog& catalog,
+                                   const OracleOptions& options, Rng* rng);
+
+}  // namespace gsopt::testing
+
+#endif  // GSOPT_TESTING_ORACLES_H_

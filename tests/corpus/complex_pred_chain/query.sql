@@ -1,0 +1,1 @@
+SELECT r1.a AS o0, r1.b AS o1, r2.a AS o2, r2.b AS o3, r3.a AS o4, r3.b AS o5 FROM r1 JOIN r2 ON r1.a = r2.a LEFT OUTER JOIN r3 ON r1.b = r3.a AND r2.b <= r3.b

@@ -1,0 +1,1 @@
+SELECT v.g0 AS o0, v.agg AS o1, r2.a AS o2, r2.b AS o3, r2.c AS o4 FROM (SELECT r1.b AS g0, COUNT(DISTINCT r1.a) AS agg FROM r1 GROUP BY r1.b) AS v FULL OUTER JOIN r2 ON r2.b = v.agg

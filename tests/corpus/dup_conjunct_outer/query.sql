@@ -1,0 +1,1 @@
+SELECT r1.a AS o0, r1.b AS o1, r1.c AS o2, r2.a AS o3, r2.b AS o4, r2.c AS o5 FROM r1 LEFT OUTER JOIN r2 ON r1.b = r2.a AND r1.b = r2.a

@@ -1,0 +1,1 @@
+SELECT v.g0 AS o0, v.agg AS o1, r3.a AS o2, r3.b AS o3, r3.c AS o4 FROM (SELECT r1.b AS g0, SUM(r2.a) AS agg FROM r1 JOIN r2 ON r1.c = r2.c GROUP BY r1.b) AS v LEFT OUTER JOIN r3 ON r3.b < 2 * v.agg

@@ -22,10 +22,12 @@ struct Chain3 {
     r1 = h.AddRelation("r1");
     r2 = h.AddRelation("r2");
     r3 = h.AddRelation("r3");
+    // Tree: r1 LOJ_A (r2 LOJ_B r3); operand subtrees passed explicitly.
     B = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r2),
                    RelSet::Single(r3), P2("r2", "r3"));
     A = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r1),
-                   RelSet::Single(r2), P2("r1", "r2"));
+                   RelSet::Single(r2), P2("r1", "r2"), RelSet::Single(r1),
+                   RelSet({r2, r3}));
   }
 };
 
@@ -78,8 +80,9 @@ TEST(AnalysisTest, RidingAllowedWhenEdgeAvoidsNullRegion) {
   int r3 = h.AddRelation("r3");
   int A = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r1),
                      RelSet::Single(r3), P2("r1", "r3"));
+  // Tree: (r1 LOJ_A r3) LOJ_B r2 -- B's left operand subtree is {r1,r3}.
   int B = *h.AddEdge(EdgeKind::kDirected, RelSet({r1}), RelSet::Single(r2),
-                     P2("r1", "r2"));
+                     P2("r1", "r2"), RelSet({r1, r3}), RelSet::Single(r2));
   (void)B;
   HypergraphAnalysis an(h);
   EXPECT_EQ(an.Pres(A), RelSet({r1, r2}));
@@ -93,8 +96,10 @@ TEST(AnalysisTest, PresAwayPicksOppositeSide) {
   int r3 = h.AddRelation("r3");
   int B = *h.AddEdge(EdgeKind::kDirected, RelSet::Single(r2),
                      RelSet::Single(r3), P2("r2", "r3"));
+  // Tree: r1 FOJ_F (r2 LOJ_B r3).
   int F = *h.AddEdge(EdgeKind::kBidirected, RelSet::Single(r1),
-                     RelSet::Single(r2), P2("r1", "r2"));
+                     RelSet::Single(r2), P2("r1", "r2"), RelSet::Single(r1),
+                     RelSet({r2, r3}));
   HypergraphAnalysis an(h);
   EXPECT_EQ(an.PresAway(F, B), RelSet::Single(r1));
   // For a directed edge, PresAway == Pres regardless of the away edge.
@@ -118,8 +123,10 @@ TEST(AnalysisTest, ConfFindsFojThroughJoins) {
   int r3 = h.AddRelation("r3");
   int J = *h.AddEdge(EdgeKind::kUndirected, RelSet::Single(r1),
                      RelSet::Single(r2), P2("r1", "r2"));
+  // Tree: (r1 J r2) FOJ_F r3.
   int F = *h.AddEdge(EdgeKind::kBidirected, RelSet::Single(r2),
-                     RelSet::Single(r3), P2("r2", "r3"));
+                     RelSet::Single(r3), P2("r2", "r3"), RelSet({r1, r2}),
+                     RelSet::Single(r3));
   HypergraphAnalysis an(h);
   EXPECT_EQ(an.Conf(J), std::vector<int>{F});
   EXPECT_TRUE(an.Ccoj(J).empty());
