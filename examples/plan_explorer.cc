@@ -8,7 +8,7 @@
 #include "algebra/execute.h"
 #include "algebra/explain.h"
 #include "base/rng.h"
-#include "core/optimizer.h"
+#include "core/session.h"
 #include "enumerate/enumerator.h"
 #include "hypergraph/analysis.h"
 #include "hypergraph/build.h"
@@ -126,20 +126,33 @@ int main() {
   std::printf("\nexecution check on random data: %d/%d plans equivalent\n",
               ok, ok + bad);
 
-  // EXPLAIN ANALYZE of the optimizer's chosen plan on the same data:
-  // per-operator actual rows and timings joined against the cost model's
-  // estimates (q = estimation error), plus the search-work counters.
-  QueryOptimizer opt(cat);
-  auto best = opt.Optimize(q4);
+  // Serve Q4 through a Session on the same data: the first Run optimizes
+  // (a plan-cache miss) and EXPLAIN ANALYZE joins per-operator actuals
+  // against the cost model's estimates; the second Run re-instantiates
+  // the cached parameterized template -- no enumeration at all.
+  Session session(cat);
+  auto best = session.Run(q4);
   if (best.ok()) {
     std::printf("\nEXPLAIN ANALYZE of the chosen plan (rung=%s; %s):\n",
                 FallbackRungName(best->degradation.rung).c_str(),
                 best->counters.ToString().c_str());
-    auto analyzed = ExplainAnalyze(best->best.expr, cat, opt.cost_model());
+    auto analyzed = ExplainAnalyze(best->plan, cat,
+                                   session.optimizer()->cost_model());
     if (analyzed.ok()) {
       std::printf("%s", analyzed->text.c_str());
     } else {
       std::printf("  %s\n", analyzed.status().ToString().c_str());
+    }
+    auto again = session.Run(q4);
+    if (again.ok()) {
+      std::printf("\nre-served from the plan cache: hit=%s, %lld rows, %s\n",
+                  again->cache_hit ? "yes" : "NO (bug!)",
+                  static_cast<long long>(again->relation.NumRows()),
+                  session.cache_stats().ToString().c_str());
+      if (!Relation::BagEquals(again->relation, best->relation)) {
+        std::printf("cache-hit result DIVERGES from the cold run!\n");
+        ++bad;
+      }
     }
   }
   return bad == 0 ? 0 : 1;

@@ -1,12 +1,12 @@
-// Quickstart: create tables, run a SQL query with outer joins through the
-// optimizer, and execute the chosen plan.
+// Quickstart: create tables, serve a SQL query with outer joins through a
+// gsopt::Session, and re-run it as a prepared statement -- the second
+// execution reuses the cached plan template instead of re-optimizing.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "algebra/execute.h"
 #include "algebra/explain.h"
-#include "core/optimizer.h"
+#include "core/session.h"
 #include "relational/catalog.h"
 #include "sql/binder.h"
 
@@ -43,32 +43,51 @@ int main() {
   }
   std::printf("bound algebra:\n  %s\n\n", (*tree)->ToString().c_str());
 
-  // 3. Optimize: the enumerator explores join/outer-join reorderings
-  //    (including generalized-selection compensated ones) and picks the
-  //    cheapest under the cost model.
-  QueryOptimizer opt(cat);
-  auto result = opt.Optimize(*tree);
+  // 3. Serve it through a Session: parse + bind + optimize (the
+  //    enumerator explores join/outer-join reorderings, including
+  //    generalized-selection compensated ones) + execute, with the
+  //    optimized template entering the session's plan cache.
+  Session session(cat);
+  auto result = session.Query(kSql);
   if (!result.ok()) {
-    std::printf("optimize error: %s\n", result.status().ToString().c_str());
+    std::printf("query error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("plans considered: %zu\n", result->plans_considered);
-  std::printf("as-written cost:  %.1f\n", result->original_cost);
-  std::printf("chosen cost:      %.1f\n", result->best.cost);
+  std::printf("chosen cost:      %.1f\n", result->plan_cost);
   std::printf("chosen plan (EXPLAIN):\n%s\n",
-              Explain(result->best.expr, opt.cost_model()).c_str());
+              Explain(result->plan, session.optimizer()->cost_model())
+                  .c_str());
+  std::printf("result:\n%s\n", result->relation.ToString().c_str());
 
-  // 4. Execute and print.
-  auto rel = Execute(result->best.expr, cat);
-  if (!rel.ok()) {
-    std::printf("exec error: %s\n", rel.status().ToString().c_str());
+  // 4. Sanity: the served result matches the as-written query.
+  auto ref = Execute(*tree, cat);
+  std::printf("equivalent to as-written: %s\n\n",
+              Relation::BagEquals(*ref, result->relation) ? "yes"
+                                                          : "NO (bug!)");
+
+  // 5. Prepared statements: $1-style parameters optimize ONCE; each
+  //    Execute substitutes values into the cached template. Literals are
+  //    parameterized too, so re-running step 3's query with a different
+  //    constant would also hit.
+  auto stmt = session.Prepare(
+      "SELECT customer.id, orders.amount FROM customer "
+      "JOIN orders ON customer.id = orders.cust_id "
+      "WHERE orders.amount > $1");
+  if (!stmt.ok()) {
+    std::printf("prepare error: %s\n", stmt.status().ToString().c_str());
     return 1;
   }
-  std::printf("result:\n%s\n", rel->ToString().c_str());
-
-  // 5. Sanity: the chosen plan matches the as-written query.
-  auto ref = Execute(*tree, cat);
-  std::printf("equivalent to as-written: %s\n",
-              Relation::BagEquals(*ref, *rel) ? "yes" : "NO (bug!)");
+  for (int64_t threshold : {10, 20}) {
+    auto rows = stmt->Bind({Value::Int(threshold)}).Execute();
+    if (!rows.ok()) {
+      std::printf("execute error: %s\n", rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("amount > %lld: %lld row(s)%s\n",
+                static_cast<long long>(threshold),
+                static_cast<long long>(rows->relation.NumRows()),
+                rows->cache_hit ? " (cached template)" : "");
+  }
+  std::printf("plan cache: %s\n", session.cache_stats().ToString().c_str());
   return 0;
 }

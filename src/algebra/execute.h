@@ -35,8 +35,22 @@ struct ExecuteOptions {
   // one lane, large inputs take the parallel kernel paths; results are
   // bag-equal to serial execution (row order may differ).
   exec::Executor* executor = nullptr;
+
+  // Fluent builder, matching OptimizeOptions / SessionOptions idiom.
+  ExecuteOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
+  ExecuteOptions& WithStats(exec::OperatorStats* s) { stats = s; return *this; }
+  ExecuteOptions& WithExecutor(exec::Executor* e) { executor = e; return *this; }
 };
 
+// The serving API (core/session.h) spells this ExecOptions; both names
+// refer to the same struct.
+using ExecOptions = ExecuteOptions;
+
+// Low-level entry point: executes an already-optimized (or hand-built)
+// expression tree. Application code serving SQL should prefer
+// gsopt::Session (core/session.h), which layers parsing, optimization and
+// the plan cache on top of this and funnels back into it; Execute stays
+// the ground-truth interpreter used by tests and kernels.
 StatusOr<Relation> Execute(const NodePtr& node, const Catalog& catalog,
                            const ExecuteOptions& options = {});
 

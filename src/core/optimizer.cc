@@ -38,6 +38,16 @@ std::string OptimizerCounters::ToString() const {
   if (deadline_slack_us >= 0) {
     s += " deadline_slack_us=" + std::to_string(deadline_slack_us);
   }
+  if (cache_hits + cache_misses > 0) {
+    s += " cache_hits=" + std::to_string(cache_hits) +
+         " cache_misses=" + std::to_string(cache_misses);
+    if (cache_evictions > 0) {
+      s += " cache_evictions=" + std::to_string(cache_evictions);
+    }
+    if (cache_invalidations > 0) {
+      s += " cache_invalidations=" + std::to_string(cache_invalidations);
+    }
+  }
   return s;
 }
 

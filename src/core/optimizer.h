@@ -64,6 +64,15 @@ struct OptimizeOptions {
   // When the budget is exhausted mid-search, descend the fallback ladder
   // instead of failing. Disable to surface Status(kResourceExhausted).
   bool fallback = true;
+
+  // Fluent builder (the serving API spells options this way; see
+  // core/session.h). Aggregate initialization keeps working for old code.
+  OptimizeOptions& WithMode(EnumMode m) { mode = m; return *this; }
+  OptimizeOptions& WithPrune(bool b) { prune = b; return *this; }
+  OptimizeOptions& WithSimplify(bool b) { simplify = b; return *this; }
+  OptimizeOptions& WithMaxPlans(size_t n) { max_plans = n; return *this; }
+  OptimizeOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
+  OptimizeOptions& WithFallback(bool b) { fallback = b; return *this; }
 };
 
 struct PlanInfo {
@@ -82,6 +91,14 @@ struct OptimizerCounters {
   // Slack left on the budget's deadline when optimization returned;
   // negative when no deadline was set.
   int64_t deadline_slack_us = -1;
+  // Plan-cache traffic attributable to this result (filled by the Session
+  // serving layer; always zero for direct QueryOptimizer::Optimize calls).
+  // A hit means the search counters above describe the cached entry's
+  // original optimization, not work done on this call.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;
+  size_t cache_invalidations = 0;
 
   std::string ToString() const;
 };

@@ -1,0 +1,245 @@
+#include "core/session.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "sql/binder.h"
+
+namespace gsopt {
+
+StatusOr<SessionResult> PreparedStatement::Execute(const ExecOptions& exec) {
+  return Execute(bound_, exec);
+}
+
+StatusOr<SessionResult> PreparedStatement::Execute(std::vector<Value> params,
+                                                   const ExecOptions& exec) {
+  GSOPT_CHECK(session_ != nullptr);
+  if (static_cast<int>(params.size()) != pq_.num_explicit) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(pq_.num_explicit) +
+        " parameter(s), " + std::to_string(params.size()) + " bound");
+  }
+  ExecOptions merged = session_->MergedExec(exec);
+  // Statistics may have moved since Prepare (or the last Execute); the
+  // epoch check re-acquires through the cache so a stale template is
+  // re-optimized at most once per epoch, not per call. A fresh-epoch
+  // execute is a template reuse: no plan search happens on this call.
+  bool hit = true;
+  OptimizerCounters traffic;
+  if (epoch_ != session_->epoch()) {
+    uint64_t epoch = 0;
+    GSOPT_ASSIGN_OR_RETURN(
+        plan_, session_->AcquirePlan(pq_, merged.budget, &epoch, &hit,
+                                     &traffic));
+    epoch_ = epoch;
+    cache_hit_ = hit;
+  }
+  // Full slot vector: explicit $n values first, then the literals lifted
+  // at Prepare time.
+  std::vector<Value> values = std::move(params);
+  values.insert(values.end(), pq_.lifted.begin(), pq_.lifted.end());
+  return session_->ExecuteTemplate(plan_, values, hit, traffic, merged);
+}
+
+StatusOr<NodePtr> PreparedStatement::ExecutablePlan(
+    const std::vector<Value>& params) const {
+  if (static_cast<int>(params.size()) != pq_.num_explicit) {
+    return Status::InvalidArgument(
+        "statement expects " + std::to_string(pq_.num_explicit) +
+        " parameter(s), " + std::to_string(params.size()) + " bound");
+  }
+  std::vector<Value> values = params;
+  values.insert(values.end(), pq_.lifted.begin(), pq_.lifted.end());
+  return SubstituteParams(plan_->plan, values);
+}
+
+Session::Session(const Catalog& catalog, SessionOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      cache_(options_.plan_cache_capacity, options_.plan_cache_shards) {}
+
+uint64_t Session::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::shared_ptr<const QueryOptimizer> Session::RefreshOptimizer(
+    uint64_t* epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (optimizer_ == nullptr || seen_version_ != catalog_.version()) {
+    seen_version_ = catalog_.version();
+    // Re-collects Statistics from the catalog; cached plans optimized
+    // under the previous statistics die lazily via the epoch bump.
+    optimizer_ = std::make_shared<const QueryOptimizer>(catalog_);
+    ++epoch_;
+  }
+  if (epoch != nullptr) *epoch = epoch_;
+  return optimizer_;
+}
+
+std::shared_ptr<const QueryOptimizer> Session::optimizer() {
+  return RefreshOptimizer(nullptr);
+}
+
+ExecOptions Session::MergedExec(const ExecOptions& exec) const {
+  ExecOptions merged = options_.exec;
+  if (exec.budget != nullptr) merged.budget = exec.budget;
+  if (exec.stats != nullptr) merged.stats = exec.stats;
+  if (exec.executor != nullptr) merged.executor = exec.executor;
+  return merged;
+}
+
+std::string Session::KeyCanonical(const std::string& tree_canonical) const {
+  const OptimizeOptions& o = options_.optimize;
+  return tree_canonical + "|mode=" +
+         std::to_string(static_cast<int>(o.mode)) +
+         " prune=" + std::to_string(o.prune ? 1 : 0) +
+         " simplify=" + std::to_string(o.simplify ? 1 : 0) +
+         " max_plans=" + std::to_string(o.max_plans);
+}
+
+StatusOr<std::shared_ptr<const CachedPlan>> Session::AcquirePlan(
+    const ParameterizedQuery& pq, ResourceBudget* budget, uint64_t* epoch,
+    bool* hit, OptimizerCounters* traffic) {
+  *hit = false;
+  std::shared_ptr<const QueryOptimizer> opt = RefreshOptimizer(epoch);
+  const std::string key = KeyCanonical(pq.canonical);
+  const uint64_t fp = Fnv1a64(key);
+  if (options_.use_plan_cache) {
+    bool invalidated = false;
+    if (auto cached = cache_.Lookup(fp, key, *epoch, &invalidated)) {
+      *hit = true;
+      traffic->cache_hits += 1;
+      return cached;
+    }
+    traffic->cache_misses += 1;
+    traffic->cache_invalidations += invalidated ? 1 : 0;
+  }
+  OptimizeOptions oo = options_.optimize;
+  if (budget != nullptr) oo.budget = budget;
+  GSOPT_ASSIGN_OR_RETURN(OptimizeResult result, opt->Optimize(pq.tree, oo));
+  auto plan = std::make_shared<CachedPlan>();
+  plan->plan = result.best.expr;
+  plan->cost = result.best.cost;
+  plan->num_explicit = pq.num_explicit;
+  plan->total_slots = pq.total_slots;
+  plan->degradation = result.degradation;
+  plan->counters = result.counters;
+  plan->canonical = key;
+  if (options_.use_plan_cache) {
+    // A budget-degraded plan is still worth caching: it is valid, and the
+    // next caller's budget governs its EXECUTION; whoever wants a better
+    // plan can clear the cache or run with a fresh session.
+    traffic->cache_evictions += cache_.Insert(fp, *epoch, plan);
+  }
+  return std::shared_ptr<const CachedPlan>(std::move(plan));
+}
+
+StatusOr<SessionResult> Session::ExecuteTemplate(
+    const std::shared_ptr<const CachedPlan>& plan,
+    const std::vector<Value>& values, bool hit,
+    const OptimizerCounters& traffic, const ExecOptions& exec) {
+  GSOPT_ASSIGN_OR_RETURN(NodePtr executable,
+                         SubstituteParams(plan->plan, values));
+  GSOPT_ASSIGN_OR_RETURN(Relation rows, gsopt::Execute(executable, catalog_,
+                                                       exec));
+  SessionResult out;
+  out.relation = std::move(rows);
+  out.plan = std::move(executable);
+  out.plan_cost = plan->cost;
+  out.cache_hit = hit;
+  out.degradation = plan->degradation;
+  out.counters = plan->counters;
+  out.counters.cache_hits = traffic.cache_hits;
+  out.counters.cache_misses = traffic.cache_misses;
+  out.counters.cache_evictions = traffic.cache_evictions;
+  out.counters.cache_invalidations = traffic.cache_invalidations;
+  return out;
+}
+
+StatusOr<ParameterizedQuery> Session::ParameterizedFor(
+    const std::string& sql) {
+  const uint64_t version = catalog_.version();
+  if (options_.use_plan_cache) {
+    std::lock_guard<std::mutex> lock(text_mu_);
+    auto it = text_cache_.find(sql);
+    if (it != text_cache_.end() && it->second.version == version) {
+      return it->second.pq;
+    }
+  }
+  GSOPT_ASSIGN_OR_RETURN(NodePtr tree, sql::ParseAndBind(sql, catalog_));
+  ParameterizedQuery pq = ParameterizeQuery(tree);
+  if (options_.use_plan_cache) {
+    std::lock_guard<std::mutex> lock(text_mu_);
+    // Wholesale reset at capacity: simpler than a second LRU, and the
+    // memo repopulates at parse cost, not optimize cost.
+    if (text_cache_.size() >= options_.text_cache_capacity) {
+      text_cache_.clear();
+    }
+    text_cache_[sql] = TextEntry{pq, version};
+  }
+  return pq;
+}
+
+StatusOr<PreparedStatement> Session::Prepare(const std::string& sql,
+                                             ResourceBudget* budget) {
+  if (options_.optimize.max_plans == 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: max_plans must be positive (a zero cap would "
+        "enumerate no plans)");
+  }
+  PreparedStatement stmt;
+  stmt.session_ = this;
+  GSOPT_ASSIGN_OR_RETURN(stmt.pq_, ParameterizedFor(sql));
+  OptimizerCounters traffic;
+  GSOPT_ASSIGN_OR_RETURN(
+      stmt.plan_,
+      AcquirePlan(stmt.pq_,
+                  budget != nullptr ? budget : options_.optimize.budget,
+                  &stmt.epoch_, &stmt.cache_hit_, &traffic));
+  return stmt;
+}
+
+StatusOr<SessionResult> Session::ServeParameterized(
+    const ParameterizedQuery& pq, const ExecOptions& exec) {
+  if (pq.num_explicit > 0) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(pq.num_explicit) +
+        " unbound parameter(s); use Prepare()/Bind()/Execute()");
+  }
+  ExecOptions merged = MergedExec(exec);
+  uint64_t epoch = 0;
+  bool hit = false;
+  OptimizerCounters traffic;
+  GSOPT_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CachedPlan> plan,
+      AcquirePlan(pq, merged.budget, &epoch, &hit, &traffic));
+  return ExecuteTemplate(plan, pq.lifted, hit, traffic, merged);
+}
+
+StatusOr<SessionResult> Session::Query(const std::string& sql,
+                                       const ExecOptions& exec) {
+  if (options_.optimize.max_plans == 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: max_plans must be positive (a zero cap would "
+        "enumerate no plans)");
+  }
+  // exec.budget threads into the miss-path optimization as well as the
+  // execution; unbound $n parameters are rejected (those need the
+  // Prepare/Bind lifecycle).
+  GSOPT_ASSIGN_OR_RETURN(ParameterizedQuery pq, ParameterizedFor(sql));
+  return ServeParameterized(pq, exec);
+}
+
+StatusOr<SessionResult> Session::Run(const NodePtr& tree,
+                                     const ExecOptions& exec) {
+  if (tree == nullptr) return Status::InvalidArgument("null query");
+  if (options_.optimize.max_plans == 0) {
+    return Status::InvalidArgument(
+        "SessionOptions: max_plans must be positive (a zero cap would "
+        "enumerate no plans)");
+  }
+  return ServeParameterized(ParameterizeQuery(tree), exec);
+}
+
+}  // namespace gsopt

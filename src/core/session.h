@@ -1,0 +1,277 @@
+// gsopt::Session -- the serving API. One object wraps the catalog, the
+// QueryOptimizer, the executor and a sharded LRU plan cache behind three
+// entry points:
+//
+//   Session session(catalog, SessionOptions{}
+//                                .WithMode(EnumMode::kGeneralized)
+//                                .WithExecutor(&parallel));
+//   // One-shot:
+//   auto result = session.Query("SELECT * FROM r1 WHERE r1.a = 7");
+//   // Prepared, with $n parameters:
+//   auto stmt = session.Prepare(
+//       "SELECT * FROM r1 JOIN r2 ON r1.k = r2.k WHERE r1.a = $1");
+//   auto rows = stmt->Bind({Value::Int(7)}).Execute();
+//   // Already-bound algebra trees (tools, tests, fuzzers):
+//   auto r2 = session.Run(tree);
+//
+// Every path funnels through the same plan acquisition step: the bound
+// tree's literal constants are lifted to parameter slots
+// (ParameterizeQuery, core/plan_cache.h), the parameterized shape is
+// fingerprinted together with the optimizer-options signature, and the
+// sharded cache is consulted. A hit skips
+// simplify/normalize/enumerate/cost entirely -- the cached plan template
+// is re-instantiated by substituting this call's values -- while a miss
+// optimizes the parameterized tree once and publishes it for every later
+// literal instantiation. Since the optimizer never inspects constant
+// *values* (selectivity uses 1/distinct for any col=const atom, parameter
+// or literal), the cached template is the same plan the literals would
+// have produced.
+//
+// SQL entry points additionally memoize the statement TEXT: a repeated
+// Prepare/Query of byte-identical SQL skips lexer/parser/binder and goes
+// straight to plan acquisition with the memoized parameterized tree (the
+// front-end layer every serving system puts before its plan cache).
+// Entries are tagged with the catalog version and dropped when it moves,
+// since binding resolves names against the catalog.
+//
+// Statistics staleness: Session remembers the Catalog::version() its
+// QueryOptimizer's statistics were collected at. Any catalog mutation
+// bumps that version; the next Session call notices, rebuilds the
+// optimizer (re-collecting Statistics) and bumps the cache epoch, so
+// stale templates die lazily on their next lookup (counted as
+// invalidations) instead of requiring a synchronous flush.
+//
+// Concurrency: Prepare/Query/Run are safe to call from many threads of a
+// morsel-parallel server (per-shard cache mutexes; the optimizer is
+// rebuilt under a session mutex and handed out as shared_ptr; entries are
+// pinned by shared_ptr so eviction cannot free a plan mid-execution) --
+// PROVIDED the catalog is not mutated concurrently with serving, which
+// the underlying Relation storage has never supported.
+//
+// Budgets: a ResourceBudget in SessionOptions (or per-call ExecOptions)
+// governs a miss's optimization AND every execution; a hit skips the
+// enumeration spend but still threads the budget into execution, so a
+// cached plan cannot dodge row caps or deadlines.
+#ifndef GSOPT_CORE_SESSION_H_
+#define GSOPT_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/execute.h"
+#include "base/budget.h"
+#include "base/status.h"
+#include "core/optimizer.h"
+#include "core/plan_cache.h"
+#include "relational/catalog.h"
+#include "relational/relation.h"
+
+namespace gsopt {
+
+struct SessionOptions {
+  // Optimizer knobs for cache misses. The signature (mode, prune,
+  // simplify, max_plans) is folded into every cache key, so two sessions
+  // sharing a cache but differing in knobs never serve each other's plans.
+  OptimizeOptions optimize;
+  // Defaults applied to every execution (budget / parallel executor /
+  // stats root); per-call ExecOptions fields override when set.
+  ExecOptions exec;
+  // Disabling the plan cache also disables the statement-text memo:
+  // every call re-parses and re-optimizes (the "cold" serving mode
+  // benchmarks compare against).
+  bool use_plan_cache = true;
+  size_t plan_cache_capacity = 256;
+  size_t plan_cache_shards = 8;
+  // Distinct SQL texts memoized past the parser (reset wholesale when
+  // full; texts are many-to-one onto plan-cache entries because literals
+  // differ where fingerprints do not).
+  size_t text_cache_capacity = 1024;
+
+  SessionOptions& WithMode(EnumMode m) { optimize.mode = m; return *this; }
+  SessionOptions& WithPrune(bool b) { optimize.prune = b; return *this; }
+  SessionOptions& WithSimplify(bool b) { optimize.simplify = b; return *this; }
+  SessionOptions& WithMaxPlans(size_t n) { optimize.max_plans = n; return *this; }
+  SessionOptions& WithFallback(bool b) { optimize.fallback = b; return *this; }
+  // One budget for both halves: miss-path optimization and execution.
+  SessionOptions& WithBudget(ResourceBudget* b) {
+    optimize.budget = b;
+    exec.budget = b;
+    return *this;
+  }
+  SessionOptions& WithExecutor(exec::Executor* e) { exec.executor = e; return *this; }
+  SessionOptions& WithPlanCache(bool enabled) { use_plan_cache = enabled; return *this; }
+  SessionOptions& WithPlanCacheCapacity(size_t n) { plan_cache_capacity = n; return *this; }
+  SessionOptions& WithPlanCacheShards(size_t n) { plan_cache_shards = n; return *this; }
+  SessionOptions& WithTextCacheCapacity(size_t n) { text_cache_capacity = n; return *this; }
+};
+
+// Everything one serving call produced: the rows, the (instantiated) plan
+// that computed them, and where the plan came from.
+struct SessionResult {
+  Relation relation;
+  NodePtr plan;            // executed plan, parameters substituted
+  double plan_cost = 0.0;  // cost-model estimate of the template
+  // This call reused an existing template (a plan-cache hit, or a
+  // prepared statement re-executing) instead of running the plan search.
+  bool cache_hit = false;
+  // On a hit these describe the cached entry's ORIGINAL optimization
+  // (what the cache saved this call), plus this call's cache traffic.
+  DegradationReport degradation;
+  OptimizerCounters counters;
+};
+
+class Session;
+
+// A parsed, parameterized, optimized query template. Cheap to copy
+// (shared_ptr internals). Obtained from Session::Prepare; executing
+// substitutes the bound values into the cached plan template -- no
+// parsing or plan search on the hot path. Not thread-safe itself (Bind
+// mutates); share the Session, not the statement.
+class PreparedStatement {
+ public:
+  // Number of explicit $n parameters the statement expects.
+  int num_params() const { return pq_.num_explicit; }
+  // Whether Prepare found the template in the plan cache.
+  bool cache_hit() const { return cache_hit_; }
+  uint64_t fingerprint() const { return pq_.fingerprint; }
+  // The optimized template (parameter slots intact).
+  const NodePtr& plan_template() const { return plan_->plan; }
+  double plan_cost() const { return plan_->cost; }
+  const DegradationReport& degradation() const { return plan_->degradation; }
+  // Search-work counters of the optimization that produced the template
+  // (on a cache hit: the original producer's, i.e. the work this Prepare
+  // skipped).
+  const OptimizerCounters& counters() const { return plan_->counters; }
+
+  // Replaces the bound values for slots $1..$n. Fluent:
+  //   stmt.Bind({Value::Int(7)}).Execute()
+  PreparedStatement& Bind(std::vector<Value> values) {
+    bound_ = std::move(values);
+    return *this;
+  }
+
+  // Executes with the values bound via Bind() (or none).
+  StatusOr<SessionResult> Execute(const ExecOptions& exec = {});
+  // Bind + Execute in one call; does not disturb values set via Bind().
+  StatusOr<SessionResult> Execute(std::vector<Value> params,
+                                  const ExecOptions& exec = {});
+
+  // The fully substituted executable plan for the given explicit values
+  // (for EXPLAIN-style inspection without executing). Fails with
+  // kInvalidArgument on a parameter-count mismatch.
+  StatusOr<NodePtr> ExecutablePlan(const std::vector<Value>& params) const;
+
+ private:
+  friend class Session;
+  PreparedStatement() = default;
+
+  Session* session_ = nullptr;
+  ParameterizedQuery pq_;
+  std::shared_ptr<const CachedPlan> plan_;
+  uint64_t epoch_ = 0;  // stats epoch plan_ was acquired under
+  bool cache_hit_ = false;
+  std::vector<Value> bound_;
+};
+
+class Session {
+ public:
+  // The catalog is referenced, not copied; it must outlive the session.
+  explicit Session(const Catalog& catalog, SessionOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Parse + bind + parameterize + optimize (through the cache). The
+  // statement stays valid as long as the session; re-optimizes lazily if
+  // catalog statistics move. kInvalidArgument on malformed SQL, unknown
+  // tables/columns, or invalid options (max_plans == 0). `budget`, when
+  // given, governs this call's miss-path optimization (overriding the
+  // session default); a cache hit never spends it.
+  StatusOr<PreparedStatement> Prepare(const std::string& sql,
+                                      ResourceBudget* budget = nullptr);
+
+  // One-shot convenience: Prepare + Execute with no parameters.
+  // kInvalidArgument if the SQL contains $n parameters -- those need the
+  // Prepare/Bind lifecycle.
+  StatusOr<SessionResult> Query(const std::string& sql,
+                                const ExecOptions& exec = {});
+
+  // Tree-level entry for callers that already hold a bound algebra tree
+  // (tools, fuzz oracles, tests). Same cache-backed pipeline as Query.
+  StatusOr<SessionResult> Run(const NodePtr& tree,
+                              const ExecOptions& exec = {});
+
+  PlanCacheStats cache_stats() const { return cache_.Stats(); }
+  void ClearPlanCache() {
+    cache_.Clear();
+    std::lock_guard<std::mutex> lock(text_mu_);
+    text_cache_.clear();
+  }
+  const SessionOptions& options() const { return options_; }
+  const Catalog& catalog() const { return catalog_; }
+  // Stats epoch of the current optimizer (bumped when the catalog moves).
+  uint64_t epoch() const;
+  // The current optimizer snapshot (rebuilt when the catalog moves).
+  // Mostly for introspection (cost model access in tools).
+  std::shared_ptr<const QueryOptimizer> optimizer();
+
+ private:
+  friend class PreparedStatement;
+
+  // Plan acquisition: cache lookup, else optimize + insert. On success
+  // `hit`, `traffic` (this call's cache counters) are filled.
+  StatusOr<std::shared_ptr<const CachedPlan>> AcquirePlan(
+      const ParameterizedQuery& pq, ResourceBudget* budget, uint64_t* epoch,
+      bool* hit, OptimizerCounters* traffic);
+
+  // SQL front end: the statement-text memo, else parse + bind +
+  // parameterize (and memoize). Entries are dropped when the catalog
+  // version moves, since binding resolves names against the catalog.
+  StatusOr<ParameterizedQuery> ParameterizedFor(const std::string& sql);
+
+  // Shared tail of Query / Run: acquire through the cache, substitute the
+  // lifted literals, execute. Rejects unbound $n parameters.
+  StatusOr<SessionResult> ServeParameterized(const ParameterizedQuery& pq,
+                                             const ExecOptions& exec);
+
+  // Shared tail of Run / PreparedStatement::Execute: substitute `values`
+  // into the template and execute under merged options.
+  StatusOr<SessionResult> ExecuteTemplate(
+      const std::shared_ptr<const CachedPlan>& plan,
+      const std::vector<Value>& values, bool hit,
+      const OptimizerCounters& traffic, const ExecOptions& exec);
+
+  // Rebuilds the optimizer if the catalog version moved; returns the
+  // current snapshot and (via out-param) the stats epoch.
+  std::shared_ptr<const QueryOptimizer> RefreshOptimizer(uint64_t* epoch);
+
+  // Per-call ExecOptions override session defaults field-by-field.
+  ExecOptions MergedExec(const ExecOptions& exec) const;
+
+  // Cache key: canonical tree serialization + options signature.
+  std::string KeyCanonical(const std::string& tree_canonical) const;
+
+  const Catalog& catalog_;
+  SessionOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;  // guards optimizer_ / seen_version_ / epoch_
+  std::shared_ptr<const QueryOptimizer> optimizer_;
+  uint64_t seen_version_ = 0;
+  uint64_t epoch_ = 0;
+
+  struct TextEntry {
+    ParameterizedQuery pq;
+    uint64_t version = 0;  // catalog version the text was bound against
+  };
+  mutable std::mutex text_mu_;  // guards text_cache_
+  std::unordered_map<std::string, TextEntry> text_cache_;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_CORE_SESSION_H_

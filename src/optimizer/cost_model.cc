@@ -9,11 +9,15 @@ namespace {
 
 // True if the atom is `column = column` or `column = constant` (hash- or
 // index-friendly); used both for selectivity and the hash-join cost path.
+// Parameter slots count as constants: selectivity never depends on a
+// constant's value, so a parameterized tree must cost exactly like every
+// literal instantiation (that is what makes plan-cache reuse sound).
 bool IsSimpleEquality(const Atom& a) {
   if (a.kind != Atom::Kind::kCompare || a.op != CmpOp::kEq) return false;
   auto simple = [](const ScalarPtr& s) {
     return s->kind() == Scalar::Kind::kColumn ||
-           s->kind() == Scalar::Kind::kConst;
+           s->kind() == Scalar::Kind::kConst ||
+           s->kind() == Scalar::Kind::kParam;
   };
   return simple(a.lhs) && simple(a.rhs);
 }

@@ -12,6 +12,7 @@ Status Catalog::CreateTable(const std::string& name,
   VirtualSchema vschema({name});
   tables_.emplace(name, Relation(std::move(schema), std::move(vschema)));
   next_row_id_[name] = 0;
+  ++version_;
   return Status::OK();
 }
 
@@ -22,6 +23,7 @@ Status Catalog::Insert(const std::string& name, std::vector<Value> values) {
     return Status::InvalidArgument("arity mismatch inserting into " + name);
   }
   it->second.AddBaseRow(std::move(values), next_row_id_[name]++);
+  ++version_;
   return Status::OK();
 }
 
@@ -39,6 +41,7 @@ Status Catalog::Register(const std::string& name, Relation relation) {
   }
   next_row_id_[name] = max_id;
   tables_.emplace(name, std::move(relation));
+  ++version_;
   return Status::OK();
 }
 

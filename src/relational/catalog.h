@@ -34,9 +34,20 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  // Monotonic data version, bumped by every successful mutation
+  // (CreateTable / Insert / Register). Statistics collected at version v
+  // are stale once version() != v: the Session serving layer compares this
+  // against the version its stats were collected at and bumps its plan-
+  // cache epoch, lazily invalidating cached plans (see core/session.h).
+  // Mutation is not synchronized with concurrent readers -- like the table
+  // data itself, catalog writes require external synchronization against
+  // serving threads.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, Relation> tables_;
   std::map<std::string, RowId> next_row_id_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace gsopt

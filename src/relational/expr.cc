@@ -29,12 +29,21 @@ ScalarPtr Scalar::Arith(ArithOp op, ScalarPtr lhs, ScalarPtr rhs) {
   return s;
 }
 
+ScalarPtr Scalar::Param(int slot) {
+  GSOPT_CHECK(slot >= 0);
+  auto s = std::shared_ptr<Scalar>(new Scalar());
+  s->kind_ = Kind::kParam;
+  s->param_slot_ = slot;
+  return s;
+}
+
 void Scalar::CollectColumns(std::vector<Attribute>* out) const {
   switch (kind_) {
     case Kind::kColumn:
       out->push_back(Attribute{rel_, name_});
       break;
     case Kind::kConst:
+    case Kind::kParam:
       break;
     case Kind::kArith:
       lhs_->CollectColumns(out);
@@ -55,6 +64,10 @@ Value Scalar::Eval(const Tuple& tuple, const Schema& schema) const {
     case Kind::kArith:
       return EvalArith(arith_op_, lhs_->Eval(tuple, schema),
                        rhs_->Eval(tuple, schema));
+    case Kind::kParam:
+      // Unsubstituted slot: NULL (total evaluation). The Session boundary
+      // guarantees executed plans carry no parameters.
+      return Value::Null();
   }
   return Value::Null();
 }
@@ -68,6 +81,7 @@ Status Scalar::Validate(const Schema& schema) const {
       }
       return Status::OK();
     case Kind::kConst:
+    case Kind::kParam:
       return Status::OK();
     case Kind::kArith:
       GSOPT_RETURN_IF_ERROR(lhs_->Validate(schema));
@@ -85,6 +99,8 @@ std::string Scalar::ToString() const {
     case Kind::kArith:
       return "(" + lhs_->ToString() + " " + ArithOpName(arith_op_) + " " +
              rhs_->ToString() + ")";
+    case Kind::kParam:
+      return "$" + std::to_string(param_slot_ + 1);
   }
   return "?";
 }

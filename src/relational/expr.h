@@ -26,11 +26,20 @@ using ScalarPtr = std::shared_ptr<const Scalar>;
 
 class Scalar {
  public:
-  enum class Kind { kColumn, kConst, kArith };
+  // kParam is a parameter slot ($1-style): a constant whose value is
+  // supplied at execution time. Structurally it behaves exactly like
+  // kConst (no column references, "simple" for selectivity purposes), so
+  // parameterized trees flow through simplify/normalize/enumerate
+  // unchanged and one optimization serves every literal instantiation
+  // (core/session.h). A slot evaluates to NULL if it ever reaches the
+  // executor unsubstituted; the Session boundary validates that it never
+  // does.
+  enum class Kind { kColumn, kConst, kArith, kParam };
 
   static ScalarPtr Column(std::string rel, std::string name);
   static ScalarPtr Const(Value v);
   static ScalarPtr Arith(ArithOp op, ScalarPtr lhs, ScalarPtr rhs);
+  static ScalarPtr Param(int slot);
 
   Kind kind() const { return kind_; }
   const std::string& rel() const { return rel_; }
@@ -39,6 +48,7 @@ class Scalar {
   ArithOp arith_op() const { return arith_op_; }
   const ScalarPtr& lhs() const { return lhs_; }
   const ScalarPtr& rhs() const { return rhs_; }
+  int param_slot() const { return param_slot_; }
 
   // All column references in this term.
   void CollectColumns(std::vector<Attribute>* out) const;
@@ -61,6 +71,7 @@ class Scalar {
   Value constant_;           // kConst
   ArithOp arith_op_ = ArithOp::kAdd;  // kArith
   ScalarPtr lhs_, rhs_;
+  int param_slot_ = 0;       // kParam
 };
 
 // One atom: a comparison `lhs op rhs`, or a null test `lhs IS [NOT] NULL`.

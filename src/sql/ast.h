@@ -18,7 +18,7 @@ struct SqlExpr;
 using SqlExprPtr = std::shared_ptr<SqlExpr>;
 
 struct SqlExpr {
-  enum class Kind { kColumn, kLiteral, kArith, kAgg, kStar };
+  enum class Kind { kColumn, kLiteral, kArith, kAgg, kStar, kParam };
   Kind kind = Kind::kLiteral;
 
   // kColumn
@@ -26,6 +26,8 @@ struct SqlExpr {
   std::string column;
   // kLiteral
   Value literal;
+  // kParam: 0-based slot of a $1-style prepared-statement parameter.
+  int param_slot = 0;
   // kArith
   ArithOp arith_op = ArithOp::kAdd;
   SqlExprPtr lhs, rhs;

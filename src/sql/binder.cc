@@ -77,6 +77,8 @@ StatusOr<ScalarPtr> Binder::BindScalar(const BoundTable& t,
   switch (e.kind) {
     case SqlExpr::Kind::kLiteral:
       return Scalar::Const(e.literal);
+    case SqlExpr::Kind::kParam:
+      return Scalar::Param(e.param_slot);
     case SqlExpr::Kind::kColumn: {
       GSOPT_ASSIGN_OR_RETURN(const VisibleColumn* vc,
                              Resolve(t, e.qualifier, e.column));

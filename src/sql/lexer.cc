@@ -68,6 +68,21 @@ StatusOr<std::vector<Token>> Lex(const std::string& input) {
       t.number = std::stod(t.text);
       t.is_integer = !has_dot;
       i = j;
+    } else if (c == '$') {
+      size_t j = i + 1;
+      while (j < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[j]))) {
+        ++j;
+      }
+      if (j == i + 1) {
+        return Status::InvalidArgument("expected parameter index after '$' at " +
+                                       std::to_string(i));
+      }
+      t.kind = TokenKind::kParam;
+      t.text = input.substr(i, j - i);
+      t.number = std::stod(input.substr(i + 1, j - i - 1));
+      t.is_integer = true;
+      i = j;
     } else if (c == '\'') {
       size_t j = i + 1;
       while (j < input.size() && input[j] != '\'') ++j;

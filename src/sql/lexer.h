@@ -15,6 +15,7 @@ enum class TokenKind {
   kKeyword,
   kNumber,
   kString,
+  kParam,  // $1-style prepared-statement parameter; `number` is the index
   kPunct,  // one of ( ) , . + - * / = < > <= >= <>
   kEnd,
 };

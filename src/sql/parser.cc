@@ -268,6 +268,16 @@ class Parser {
       e->literal = Value::String(t.text);
       return e;
     }
+    if (t.kind == TokenKind::kParam) {
+      Next();
+      if (t.number < 1) {
+        return Status::InvalidArgument("parameter indices start at $1 (got " +
+                                       t.text + ")");
+      }
+      e->kind = SqlExpr::Kind::kParam;
+      e->param_slot = static_cast<int>(t.number) - 1;
+      return e;
+    }
     if (t.kind == TokenKind::kPunct && t.text == "(") {
       Next();
       GSOPT_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());

@@ -8,6 +8,7 @@
 #include "algebra/execute.h"
 #include "base/budget.h"
 #include "core/optimizer.h"
+#include "core/session.h"
 #include "exec/executor.h"
 #include "sql/binder.h"
 #include "testing/sql_emit.h"
@@ -100,6 +101,7 @@ class OracleRunner {
   void RunDegradation();
   void RunTlp();
   void RunRoundTrip();
+  void RunPlanCache();
 
   const NodePtr& query_;
   const Catalog& catalog_;
@@ -324,6 +326,80 @@ void OracleRunner::RunRoundTrip() {
   }
 }
 
+void OracleRunner::RunPlanCache() {
+  ++outcome_.oracles_run;
+  if (baseline_.schema().size() == 0) return;
+
+  // Two instantiations of the same query shape, differing only in the
+  // pivot constant of an added selection. The session lifts both pivots
+  // to the same parameter slot, so they share a fingerprint: the first
+  // Run optimizes and caches the template, the second MUST hit and
+  // re-instantiate it -- and each must still bag-equal its own syntactic
+  // (literal, un-cached) execution.
+  int col = static_cast<int>(
+      rng_->Uniform(0, static_cast<int64_t>(baseline_.schema().size()) - 1));
+  const Attribute& attr = baseline_.schema().attr(col);
+  std::vector<const Value*> non_null;
+  for (const Tuple& t : baseline_.rows()) {
+    const Value& v = t.values[static_cast<size_t>(col)];
+    if (!v.is_null()) non_null.push_back(&v);
+  }
+  Value pivots[2] = {Value::Int(0), Value::Int(1)};
+  for (int i = 0; i < 2 && !non_null.empty(); ++i) {
+    pivots[i] = *non_null[static_cast<size_t>(
+        rng_->Uniform(0, static_cast<int64_t>(non_null.size()) - 1))];
+  }
+
+  Session session(catalog_,
+                  SessionOptions{}.WithMaxPlans(
+                      std::max<size_t>(opt_.max_plans, 16)));
+  for (int i = 0; i < 2; ++i) {
+    Atom a;
+    a.lhs = Scalar::Column(attr.rel, attr.name);
+    a.op = CmpOp::kLe;
+    a.rhs = Scalar::Const(pivots[i]);
+    NodePtr wrapped = Node::Select(query_, Predicate(a));
+
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    auto got = session.Run(wrapped, ExecOptions{}.WithBudget(&budget));
+    if (!got.ok()) {
+      if (Skipped(got.status())) return;
+      Fail(OracleKind::kPlanCache,
+           "session run " + std::to_string(i) + " (pivot " +
+               pivots[i].ToString() +
+               ") failed: " + got.status().ToString());
+      return;
+    }
+    if (i == 1 && !got->cache_hit) {
+      Fail(OracleKind::kPlanCache,
+           "second literal instantiation (pivot " + pivots[1].ToString() +
+               " after " + pivots[0].ToString() +
+               ") missed the plan cache; fingerprinting is not "
+               "literal-invariant for plan=" + got->plan->ToString());
+      return;
+    }
+    Relation checked = std::move(got->relation);
+    if (opt_.mutate_checked_result) opt_.mutate_checked_result(&checked);
+    auto expected = Exec(wrapped);
+    if (!expected.ok()) {
+      if (Skipped(expected.status())) return;
+      Fail(OracleKind::kPlanCache,
+           "syntactic reference failed: " + expected.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(*expected, checked)) {
+      Fail(OracleKind::kPlanCache,
+           std::string(i == 0 ? "cached template (cold)"
+                              : "cache-hit re-instantiation") +
+               " diverges from literal execution; pivot " +
+               pivots[i].ToString() + " plan=" + got->plan->ToString());
+      return;
+    }
+  }
+}
+
 StatusOr<OracleOutcome> OracleRunner::Run() {
   auto baseline = Exec(query_);
   if (!baseline.ok()) {
@@ -340,6 +416,7 @@ StatusOr<OracleOutcome> OracleRunner::Run() {
   if (opt_.run_degradation && !outcome_.failed) RunDegradation();
   if (opt_.run_tlp && !outcome_.failed) RunTlp();
   if (opt_.run_round_trip && !outcome_.failed) RunRoundTrip();
+  if (opt_.run_plan_cache && !outcome_.failed) RunPlanCache();
   return outcome_;
 }
 
@@ -352,6 +429,7 @@ std::string OracleKindName(OracleKind k) {
     case OracleKind::kDegradation: return "degradation";
     case OracleKind::kTlp: return "tlp";
     case OracleKind::kRoundTrip: return "round-trip";
+    case OracleKind::kPlanCache: return "plan-cache";
   }
   return "?";
 }

@@ -15,7 +15,15 @@
 //                    TRUE per row under 3VL, so this stresses the
 //                    null-padding semantics GS compensation depends on);
 //  * round trip   -- emit SQL text, re-parse and re-bind it, and the bound
-//                    tree bag-equals the original.
+//                    tree bag-equals the original;
+//  * plan cache   -- running the query through a Session (which lifts its
+//                    literals to parameter slots, optimizes the
+//                    parameterized template once and re-instantiates it
+//                    from the sharded plan cache) matches literal
+//                    re-optimization: two instantiations differing only in
+//                    a constant must share a template (the second MUST be
+//                    a cache hit) and each must bag-equal its own
+//                    syntactic execution.
 //
 // Budget-exhausted plan executions are skipped (counted), not failed, so
 // one pathological cross product cannot wedge a fuzz run.
@@ -40,6 +48,7 @@ enum class OracleKind {
   kDegradation,
   kTlp,
   kRoundTrip,
+  kPlanCache,
 };
 
 std::string OracleKindName(OracleKind k);
@@ -50,6 +59,7 @@ struct OracleOptions {
   bool run_degradation = true;
   bool run_tlp = true;
   bool run_round_trip = true;
+  bool run_plan_cache = true;
 
   // Plan-space cap per query (enumeration truncates, never fails).
   size_t max_plans = 64;

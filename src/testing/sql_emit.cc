@@ -153,6 +153,8 @@ class Emitter {
         GSOPT_ASSIGN_OR_RETURN(std::string r, RenderScalar(s->rhs(), scope));
         return "(" + l + " " + ArithText(s->arith_op()) + " " + r + ")";
       }
+      case Scalar::Kind::kParam:
+        return "$" + std::to_string(s->param_slot() + 1);
     }
     return Status::Internal("unhandled scalar kind");
   }

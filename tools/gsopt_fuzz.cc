@@ -1,8 +1,11 @@
 // gsopt_fuzz: metamorphic differential-testing driver over the paper's
 // full query class. Generates seeded random (query, data) cases -- GROUP
 // BY views, aggregated-column predicates, outer joins, nulls -- and checks
-// the plan-space / executor / degradation / TLP / SQL-round-trip oracles on
-// each; failures are delta-debugged to minimal reproducers and written as
+// the plan-space / executor / degradation / TLP / SQL-round-trip /
+// plan-cache oracles on each (the last runs every case through a
+// gsopt::Session, validating that cached parameterized templates
+// re-instantiate to exactly what literal re-optimization produces);
+// failures are delta-debugged to minimal reproducers and written as
 // self-contained .sql + CSV artifacts.
 //
 //   gsopt_fuzz --seeds=500                      # CI gate
