@@ -11,6 +11,8 @@
 //   gsopt> EXECUTE q1 7              (bind $1..$n and run the template)
 //   gsopt> \cache                    (plan-cache hit/miss/eviction stats)
 //   gsopt> \timeout 250              (per-query budget in ms; 0 = off)
+//   gsopt> \memory 65536             (operator-state cap in bytes; spills
+//                                     to disk past it; 0 = uncapped)
 //   gsopt> \tables
 //   gsopt> \q
 //
@@ -31,6 +33,7 @@
 #include "algebra/explain.h"
 #include "base/budget.h"
 #include "core/session.h"
+#include "exec/eval.h"
 #include "relational/csv.h"
 #include "sql/binder.h"
 
@@ -41,6 +44,13 @@ namespace {
 // Per-query wall-clock budget; generous default so only hostile queries
 // degrade. 0 disables governance entirely.
 long long g_timeout_ms = 10000;
+
+// Operator-state memory cap (\memory N, bytes; 0 = uncapped). Capping also
+// enables spill-to-disk, so a query that outgrows the cap degrades to the
+// out-of-core path instead of failing -- \analyze shows its spill{...}
+// counters.
+long long g_memory_bytes = 0;
+exec::SpillConfig g_spill;
 
 std::string BaseName(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -125,6 +135,11 @@ void RunQuery(const std::string& text, Session& session, QueryMode mode) {
   if (g_timeout_ms > 0) {
     exec_budget.WithDeadlineAfter(std::chrono::milliseconds(g_timeout_ms));
     xo.WithBudget(&exec_budget);
+  }
+  if (g_memory_bytes > 0) {
+    exec_budget.WithMaxMemory(static_cast<uint64_t>(g_memory_bytes));
+    g_spill.enabled = true;
+    xo.WithBudget(&exec_budget).WithSpill(&g_spill);
   }
   if (mode == QueryMode::kAnalyze) {
     PrintOptimizerLine(*stmt);
@@ -226,6 +241,11 @@ void RunExecute(const std::string& rest,
     exec_budget.WithDeadlineAfter(std::chrono::milliseconds(g_timeout_ms));
     xo.WithBudget(&exec_budget);
   }
+  if (g_memory_bytes > 0) {
+    exec_budget.WithMaxMemory(static_cast<uint64_t>(g_memory_bytes));
+    g_spill.enabled = true;
+    xo.WithBudget(&exec_budget).WithSpill(&g_spill);
+  }
   auto result = it->second.Execute(std::move(params), xo);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
@@ -281,6 +301,15 @@ int main(int argc, char** argv) {
         std::printf("per-query budget: %lld ms\n", g_timeout_ms);
       } else {
         std::printf("per-query budget disabled\n");
+      }
+    } else if (line.rfind("\\memory ", 0) == 0) {
+      g_memory_bytes = std::atoll(line.substr(8).c_str());
+      if (g_memory_bytes > 0) {
+        std::printf(
+            "operator-state cap: %lld bytes (spill-to-disk enabled)\n",
+            g_memory_bytes);
+      } else {
+        std::printf("operator-state cap disabled\n");
       }
     } else if (line.rfind("\\prepare ", 0) == 0) {
       std::string rest = line.substr(9);

@@ -97,7 +97,8 @@ StatusOr<Relation> ExecuteNode(const NodePtr& node, const Catalog& catalog,
   if (options.budget != nullptr) {
     GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("execute"));
   }
-  exec::ExecContext ctx{options.budget, stats, options.executor};
+  exec::ExecContext ctx{options.budget, stats, options.executor,
+                        options.fault, options.spill};
   Clock::time_point start;
   if (stats != nullptr) {
     stats->op = StatsLabel(*node);

@@ -17,7 +17,9 @@
 
 #include "algebra/node.h"
 #include "base/budget.h"
+#include "base/fault_injector.h"
 #include "base/status.h"
+#include "exec/eval.h"
 #include "exec/executor.h"
 #include "exec/stats.h"
 #include "relational/catalog.h"
@@ -35,11 +37,24 @@ struct ExecuteOptions {
   // one lane, large inputs take the parallel kernel paths; results are
   // bag-equal to serial execution (row order may differ).
   exec::Executor* executor = nullptr;
+  // Optional deterministic fault injector (not owned). When set, kernels
+  // probe it at allocation, spill I/O, budget-check and dispatch points;
+  // see base/fault_injector.h.
+  FaultInjector* fault = nullptr;
+  // Optional spill configuration (not owned). When set and enabled, hash
+  // joins and aggregations that trip the memory cap degrade to the
+  // out-of-core partitioned path instead of failing; see exec/eval.h.
+  const exec::SpillConfig* spill = nullptr;
 
   // Fluent builder, matching OptimizeOptions / SessionOptions idiom.
   ExecuteOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
   ExecuteOptions& WithStats(exec::OperatorStats* s) { stats = s; return *this; }
   ExecuteOptions& WithExecutor(exec::Executor* e) { executor = e; return *this; }
+  ExecuteOptions& WithFault(FaultInjector* f) { fault = f; return *this; }
+  ExecuteOptions& WithSpill(const exec::SpillConfig* s) {
+    spill = s;
+    return *this;
+  }
 };
 
 // The serving API (core/session.h) spells this ExecOptions; both names

@@ -102,6 +102,17 @@ void RenderAnalyze(const NodePtr& n, const exec::OperatorStats& stats,
                   static_cast<unsigned long long>(stats.residual_evals));
     line += buf;
   }
+  if (stats.spilled) {
+    std::snprintf(buf, sizeof(buf),
+                  " spill{parts=%llu written=%llu read=%llu recurse=%llu "
+                  "chunks=%llu}",
+                  static_cast<unsigned long long>(stats.spill_partitions),
+                  static_cast<unsigned long long>(stats.spill_bytes_written),
+                  static_cast<unsigned long long>(stats.spill_bytes_read),
+                  static_cast<unsigned long long>(stats.spill_recursions),
+                  static_cast<unsigned long long>(stats.spill_chunks));
+    line += buf;
+  }
   out->append(line);
   out->push_back('\n');
   size_t child = 0;

@@ -12,7 +12,16 @@
 //     counter increment per check and one clock read per kClockStride;
 //   * a plan cap: total subplans the enumerator may emit before it stops
 //     exploring alternatives and reports the space as truncated;
-//   * a row cap: total tuples the executor kernels may materialize.
+//   * a row cap: total tuples the executor kernels may materialize;
+//   * a memory cap: bytes of operator working state (hash-join build
+//     tables, aggregation group maps, spill read-back buffers) resident at
+//     once. Inputs and outputs are exempt -- the interpreter materializes
+//     relations eagerly and the row cap already governs output volume --
+//     so the cap models the state a streaming engine would have to keep.
+//     Unlike the other caps this one is usually survivable: kernels that
+//     trip it switch to the out-of-core spill path (exec/spill.h) instead
+//     of failing, and only report kResourceExhausted when spilling is
+//     disabled or cannot help.
 //
 // Stages never kill each other preemptively: each checks the budget at its
 // own safe points and returns Status(kResourceExhausted), which unwinds
@@ -79,15 +88,28 @@ class ResourceBudget {
     max_rows_ = n;
     return *this;
   }
+  ResourceBudget& WithMaxMemory(uint64_t bytes) {
+    max_memory_ = bytes;
+    return *this;
+  }
 
   bool has_deadline() const { return has_deadline_; }
   uint64_t max_plans() const { return max_plans_; }
   uint64_t max_rows() const { return max_rows_; }
+  uint64_t max_memory() const { return max_memory_; }
   uint64_t rows_charged() const {
     return rows_.load(std::memory_order_relaxed);
   }
   uint64_t plans_charged() const {
     return plans_.load(std::memory_order_relaxed);
+  }
+  // Operator-state bytes currently charged; zero once every kernel has
+  // unwound (the chaos oracle asserts this to catch accounting leaks).
+  uint64_t memory_charged() const {
+    return memory_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_peak() const {
+    return memory_peak_.load(std::memory_order_relaxed);
   }
   // Deadline probes observed so far (only counted while a deadline is
   // set). An observability counter: regression tests use it to prove hot
@@ -113,7 +135,7 @@ class ResourceBudget {
   // expiry within one of its own probes.
   Status CheckDeadline(const char* stage) {
     if (expired_.load(std::memory_order_relaxed)) {
-      return Exhausted(stage, "deadline exceeded");
+      return Exhausted(stage, "deadline cap exceeded");
     }
     if (!has_deadline_) return Status::OK();
     if ((tick_.fetch_add(1, std::memory_order_relaxed) &
@@ -126,12 +148,12 @@ class ResourceBudget {
   // Unstrided deadline probe for stage boundaries.
   Status CheckDeadlineNow(const char* stage) {
     if (expired_.load(std::memory_order_relaxed)) {
-      return Exhausted(stage, "deadline exceeded");
+      return Exhausted(stage, "deadline cap exceeded");
     }
     if (!has_deadline_) return Status::OK();
     if (Clock::now() >= deadline_) {
       expired_.store(true, std::memory_order_relaxed);
-      return Exhausted(stage, "deadline exceeded");
+      return Exhausted(stage, "deadline cap exceeded");
     }
     return Status::OK();
   }
@@ -145,11 +167,35 @@ class ResourceBudget {
   Status ChargeRows(uint64_t n, const char* stage) {
     uint64_t after = rows_.fetch_add(n, std::memory_order_relaxed) + n;
     if (after > max_rows_) {
-      return Exhausted(stage, "row budget exceeded (" +
-                                  std::to_string(after) + " > " +
-                                  std::to_string(max_rows_) + " rows)");
+      return Exhausted(stage, "row cap exceeded (" + std::to_string(after) +
+                                  " > " + std::to_string(max_rows_) +
+                                  " rows)");
     }
     return CheckDeadline(stage);
+  }
+
+  // Charges `n` bytes of operator working state. On over-cap the charge is
+  // rolled back before returning, so a failed charge leaves the ledger
+  // exactly as it found it -- callers that catch the error and degrade to
+  // the spill path do not have to compensate. Thread-safe like ChargeRows;
+  // the peak tracker is a relaxed CAS max (monotone, so races only ever
+  // under-read a concurrent peak by a charge that also retries).
+  Status ChargeMemory(uint64_t n, const char* stage) {
+    uint64_t after = memory_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (after > max_memory_) {
+      memory_.fetch_sub(n, std::memory_order_relaxed);
+      return Exhausted(stage, "memory cap exceeded (" + std::to_string(after) +
+                                  " > " + std::to_string(max_memory_) +
+                                  " bytes of operator state)");
+    }
+    uint64_t peak = memory_peak_.load(std::memory_order_relaxed);
+    while (after > peak && !memory_peak_.compare_exchange_weak(
+                               peak, after, std::memory_order_relaxed)) {
+    }
+    return Status::OK();
+  }
+  void ReleaseMemory(uint64_t n) {
+    memory_.fetch_sub(n, std::memory_order_relaxed);
   }
 
   // Plan accounting is advisory: the enumerator sizes its exploration to
@@ -178,9 +224,58 @@ class ResourceBudget {
   std::atomic<bool> expired_{false};
   uint64_t max_plans_ = kUnlimited;
   uint64_t max_rows_ = kUnlimited;
+  uint64_t max_memory_ = kUnlimited;
   std::atomic<uint64_t> rows_{0};
   std::atomic<uint64_t> plans_{0};
   std::atomic<uint64_t> tick_{0};
+  std::atomic<uint64_t> memory_{0};
+  std::atomic<uint64_t> memory_peak_{0};
+};
+
+// RAII ledger for one operator's working-state charges: Charge() forwards
+// to the budget and remembers the amount, and the destructor releases
+// whatever is still outstanding. This is the error-path hygiene primitive:
+// a kernel that returns early -- over-cap, injected fault, cancelled lane
+// -- unwinds its charges by construction, so a failed query never leaves
+// phantom bytes pinned in a shared budget. Not thread-safe; parallel
+// kernels keep one reservation per lane. A null budget makes every
+// operation a no-op, keeping call sites unconditional.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(ResourceBudget* budget) : budget_(budget) {}
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  MemoryReservation(MemoryReservation&& o) noexcept
+      : budget_(o.budget_), bytes_(o.bytes_) {
+    o.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& o) noexcept {
+    if (this != &o) {
+      Release();
+      budget_ = o.budget_;
+      bytes_ = o.bytes_;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~MemoryReservation() { Release(); }
+
+  Status Charge(uint64_t n, const char* stage) {
+    if (budget_ == nullptr) return Status::OK();
+    Status s = budget_->ChargeMemory(n, stage);
+    if (s.ok()) bytes_ += n;
+    return s;
+  }
+  void Release() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->ReleaseMemory(bytes_);
+    bytes_ = 0;
+  }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  ResourceBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
 };
 
 }  // namespace gsopt

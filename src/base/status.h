@@ -18,10 +18,16 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kOutOfRange,
-  // A cooperative resource budget (wall-clock deadline, plan cap, row cap)
-  // was exhausted. Recoverable: the optimizer's fallback ladder retries a
-  // cheaper enumeration mode and ultimately the as-written plan.
+  // A cooperative resource budget (wall-clock deadline, plan cap, row cap,
+  // memory cap) was exhausted. Recoverable: the optimizer's fallback ladder
+  // retries a cheaper enumeration mode and ultimately the as-written plan,
+  // and the executor's spill path degrades hash state out-of-core.
   kResourceExhausted,
+  // A transient fault -- short spill write/read, thread-pool dispatch
+  // failure, injected chaos -- where an identical retry may succeed.
+  // Session honors this with its bounded retry-with-backoff policy;
+  // persistent conditions (ENOSPC, caps) use kResourceExhausted instead.
+  kUnavailable,
 };
 
 class Status {
@@ -49,8 +55,13 @@ class Status {
   static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // True for statuses a caller may retry verbatim (Session's backoff loop).
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -76,6 +87,8 @@ class Status {
         return "OutOfRange";
       case StatusCode::kResourceExhausted:
         return "ResourceExhausted";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

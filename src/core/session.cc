@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <thread>
 #include <utility>
 
 #include "base/check.h"
@@ -25,20 +26,29 @@ StatusOr<SessionResult> PreparedStatement::Execute(std::vector<Value> params,
   // re-optimized at most once per epoch, not per call. A fresh-epoch
   // execute is a template reuse: no plan search happens on this call.
   bool hit = true;
+  bool deferred = false;
   OptimizerCounters traffic;
   if (epoch_ != session_->epoch()) {
     uint64_t epoch = 0;
     GSOPT_ASSIGN_OR_RETURN(
         plan_, session_->AcquirePlan(pq_, merged.budget, &epoch, &hit,
-                                     &traffic));
+                                     &traffic, /*defer_install=*/true));
     epoch_ = epoch;
     cache_hit_ = hit;
+    deferred = !hit;
   }
   // Full slot vector: explicit $n values first, then the literals lifted
   // at Prepare time.
   std::vector<Value> values = std::move(params);
   values.insert(values.end(), pq_.lifted.begin(), pq_.lifted.end());
-  return session_->ExecuteTemplate(plan_, values, hit, traffic, merged);
+  StatusOr<SessionResult> result =
+      session_->ExecuteTemplate(plan_, values, hit, traffic, merged);
+  if (result.ok() && deferred) {
+    // The re-optimized template proved itself; publish it now. A failing
+    // template is never published (plan-cache poisoning guard).
+    result->counters.cache_evictions += session_->PublishPlan(plan_, epoch_);
+  }
+  return result;
 }
 
 StatusOr<NodePtr> PreparedStatement::ExecutablePlan(
@@ -86,6 +96,8 @@ ExecOptions Session::MergedExec(const ExecOptions& exec) const {
   if (exec.budget != nullptr) merged.budget = exec.budget;
   if (exec.stats != nullptr) merged.stats = exec.stats;
   if (exec.executor != nullptr) merged.executor = exec.executor;
+  if (exec.fault != nullptr) merged.fault = exec.fault;
+  if (exec.spill != nullptr) merged.spill = exec.spill;
   return merged;
 }
 
@@ -98,9 +110,15 @@ std::string Session::KeyCanonical(const std::string& tree_canonical) const {
          " max_plans=" + std::to_string(o.max_plans);
 }
 
+uint64_t Session::PublishPlan(const std::shared_ptr<const CachedPlan>& plan,
+                              uint64_t epoch) {
+  if (!options_.use_plan_cache) return 0;
+  return cache_.Insert(Fnv1a64(plan->canonical), epoch, plan);
+}
+
 StatusOr<std::shared_ptr<const CachedPlan>> Session::AcquirePlan(
     const ParameterizedQuery& pq, ResourceBudget* budget, uint64_t* epoch,
-    bool* hit, OptimizerCounters* traffic) {
+    bool* hit, OptimizerCounters* traffic, bool defer_install) {
   *hit = false;
   std::shared_ptr<const QueryOptimizer> opt = RefreshOptimizer(epoch);
   const std::string key = KeyCanonical(pq.canonical);
@@ -126,7 +144,7 @@ StatusOr<std::shared_ptr<const CachedPlan>> Session::AcquirePlan(
   plan->degradation = result.degradation;
   plan->counters = result.counters;
   plan->canonical = key;
-  if (options_.use_plan_cache) {
+  if (options_.use_plan_cache && !defer_install) {
     // A budget-degraded plan is still worth caching: it is valid, and the
     // next caller's budget governs its EXECUTION; whoever wants a better
     // plan can clear the cache or run with a fresh session.
@@ -141,10 +159,25 @@ StatusOr<SessionResult> Session::ExecuteTemplate(
     const OptimizerCounters& traffic, const ExecOptions& exec) {
   GSOPT_ASSIGN_OR_RETURN(NodePtr executable,
                          SubstituteParams(plan->plan, values));
-  GSOPT_ASSIGN_OR_RETURN(Relation rows, gsopt::Execute(executable, catalog_,
-                                                       exec));
+  // Transient failures (kUnavailable: short spill I/O, dispatch faults)
+  // are retried with bounded exponential backoff; an identical attempt
+  // may succeed. Persistent failures (caps, real ENOSPC) propagate
+  // immediately.
+  int retries = 0;
+  StatusOr<Relation> rows = gsopt::Execute(executable, catalog_, exec);
+  while (!rows.ok() && rows.status().IsTransient() &&
+         retries < options_.max_transient_retries) {
+    // Reset the caller's stats tree: the retry re-runs every operator
+    // from scratch and must not double-count the failed attempt.
+    if (exec.stats != nullptr) *exec.stats = exec::OperatorStats{};
+    std::this_thread::sleep_for(options_.retry_backoff * (1LL << retries));
+    ++retries;
+    rows = gsopt::Execute(executable, catalog_, exec);
+  }
+  GSOPT_RETURN_IF_ERROR(rows.status());
   SessionResult out;
-  out.relation = std::move(rows);
+  out.relation = std::move(rows).value();
+  out.transient_retries = retries;
   out.plan = std::move(executable);
   out.plan_cost = plan->cost;
   out.cache_hit = hit;
@@ -213,8 +246,17 @@ StatusOr<SessionResult> Session::ServeParameterized(
   OptimizerCounters traffic;
   GSOPT_ASSIGN_OR_RETURN(
       std::shared_ptr<const CachedPlan> plan,
-      AcquirePlan(pq, merged.budget, &epoch, &hit, &traffic));
-  return ExecuteTemplate(plan, pq.lifted, hit, traffic, merged);
+      AcquirePlan(pq, merged.budget, &epoch, &hit, &traffic,
+                  /*defer_install=*/true));
+  StatusOr<SessionResult> result =
+      ExecuteTemplate(plan, pq.lifted, hit, traffic, merged);
+  if (result.ok() && !hit) {
+    // Publish the freshly optimized template only once it has executed
+    // successfully: a miss whose execution fails must never install a
+    // template later callers would be served (plan-cache poisoning guard).
+    result->counters.cache_evictions += PublishPlan(plan, epoch);
+  }
+  return result;
 }
 
 StatusOr<SessionResult> Session::Query(const std::string& sql,

@@ -55,6 +55,7 @@
 #ifndef GSOPT_CORE_SESSION_H_
 #define GSOPT_CORE_SESSION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,14 @@ struct SessionOptions {
   // full; texts are many-to-one onto plan-cache entries because literals
   // differ where fingerprints do not).
   size_t text_cache_capacity = 1024;
+  // Bounded retry for TRANSIENT execution failures (Status::IsTransient(),
+  // i.e. kUnavailable: short spill I/O, dispatch faults). Each retry
+  // re-executes the already-acquired plan template -- no re-parse or plan
+  // search -- after an exponential backoff starting at retry_backoff.
+  // Persistent failures (kResourceExhausted caps, real ENOSPC) are never
+  // retried: an identical attempt cannot succeed.
+  int max_transient_retries = 2;
+  std::chrono::microseconds retry_backoff{500};
 
   SessionOptions& WithMode(EnumMode m) { optimize.mode = m; return *this; }
   SessionOptions& WithPrune(bool b) { optimize.prune = b; return *this; }
@@ -103,6 +112,16 @@ struct SessionOptions {
     return *this;
   }
   SessionOptions& WithExecutor(exec::Executor* e) { exec.executor = e; return *this; }
+  SessionOptions& WithFault(FaultInjector* f) { exec.fault = f; return *this; }
+  SessionOptions& WithSpill(const exec::SpillConfig* s) {
+    exec.spill = s;
+    return *this;
+  }
+  SessionOptions& WithRetries(int n) { max_transient_retries = n; return *this; }
+  SessionOptions& WithRetryBackoff(std::chrono::microseconds b) {
+    retry_backoff = b;
+    return *this;
+  }
   SessionOptions& WithPlanCache(bool enabled) { use_plan_cache = enabled; return *this; }
   SessionOptions& WithPlanCacheCapacity(size_t n) { plan_cache_capacity = n; return *this; }
   SessionOptions& WithPlanCacheShards(size_t n) { plan_cache_shards = n; return *this; }
@@ -122,6 +141,9 @@ struct SessionResult {
   // (what the cache saved this call), plus this call's cache traffic.
   DegradationReport degradation;
   OptimizerCounters counters;
+  // Transient-failure retries the execution needed before succeeding
+  // (0 on a clean first attempt; see SessionOptions::max_transient_retries).
+  int transient_retries = 0;
 };
 
 class Session;
@@ -222,11 +244,20 @@ class Session {
  private:
   friend class PreparedStatement;
 
-  // Plan acquisition: cache lookup, else optimize + insert. On success
-  // `hit`, `traffic` (this call's cache counters) are filled.
+  // Plan acquisition: cache lookup, else optimize (+ insert, unless the
+  // caller defers). On success `hit`, `traffic` (this call's cache
+  // counters) are filled. With defer_install, a freshly optimized miss is
+  // NOT published to the cache -- the caller publishes via PublishPlan
+  // after the template proves itself (first execution succeeds), so a
+  // failing miss can never poison the cache for later callers.
   StatusOr<std::shared_ptr<const CachedPlan>> AcquirePlan(
       const ParameterizedQuery& pq, ResourceBudget* budget, uint64_t* epoch,
-      bool* hit, OptimizerCounters* traffic);
+      bool* hit, OptimizerCounters* traffic, bool defer_install = false);
+
+  // Publishes a deferred miss (no-op when the cache is disabled); returns
+  // evictions caused.
+  uint64_t PublishPlan(const std::shared_ptr<const CachedPlan>& plan,
+                       uint64_t epoch);
 
   // SQL front end: the statement-text memo, else parse + bind +
   // parameterize (and memoize). Entries are dropped when the catalog

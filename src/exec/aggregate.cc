@@ -8,6 +8,7 @@
 #include "base/check.h"
 #include "exec/keys.h"
 #include "exec/lane_control.h"
+#include "exec/spill.h"
 
 namespace gsopt::exec {
 
@@ -84,16 +85,21 @@ struct Accumulator {
   Value min_v, max_v;       // NULL until first non-null input
   std::unordered_set<std::string> distinct_keys;
 
-  void Feed(const Value& v, const AggSpec& spec) {
+  // Returns the bytes newly retained by this feed (a DISTINCT key entering
+  // the dedup set), so the caller can charge them against the memory cap.
+  uint64_t Feed(const Value& v, const AggSpec& spec) {
     if (spec.func == AggFunc::kCountStar) {
       ++count;
-      return;
+      return 0;
     }
-    if (v.is_null()) return;
+    if (v.is_null()) return 0;
+    uint64_t retained = 0;
     if (spec.distinct) {
       std::string key;
       AppendValueKey(v, &key);
-      if (!distinct_keys.insert(key).second) return;
+      size_t key_size = key.size();
+      if (!distinct_keys.insert(std::move(key)).second) return 0;
+      retained = key_size + 48;
     }
     ++count;
     switch (spec.func) {
@@ -115,6 +121,7 @@ struct Accumulator {
       default:
         break;
     }
+    return retained;
   }
 
   // Folds another lane's partial state for the same group into this one.
@@ -158,6 +165,180 @@ struct Accumulator {
     return Value::Null();
   }
 };
+
+struct Group {
+  Tuple representative;
+  std::vector<Accumulator> accs;
+};
+
+struct GroupMap {
+  std::unordered_map<std::string, Group> groups;
+  std::vector<std::string> order;  // first-seen order, for determinism
+};
+
+// Everything GeneralizedProjection resolves once from (r, spec). Spilled
+// partitions of r share its schemas, so one resolution serves the
+// in-memory path and every out-of-core partition.
+struct ResolvedGP {
+  const GroupBySpec* spec = nullptr;
+  std::vector<int> gcol_idx;
+  std::vector<int> gvid_idx;
+  std::vector<int> presence_idx;
+  Schema out_schema;
+  VirtualSchema out_vschema;
+  bool synthetic_vid = false;
+  bool has_distinct = false;
+};
+
+// Feeds one row into its group's accumulators; returns bytes newly
+// retained (DISTINCT dedup-set growth) for the caller to charge.
+uint64_t FeedRow(const ResolvedGP& rs, const Relation& r, const Tuple& t,
+                 Group* g) {
+  const GroupBySpec& spec = *rs.spec;
+  uint64_t retained = 0;
+  for (size_t k = 0; k < spec.aggs.size(); ++k) {
+    const AggSpec& a = spec.aggs[k];
+    Value v;
+    if (a.func == AggFunc::kCountStar || a.func == AggFunc::kGroupFlag) {
+      v = Value::Int(1);
+    } else if (a.func == AggFunc::kCountPresence) {
+      v = (t.vids[rs.presence_idx[k]] == kNullRowId) ? Value::Null()
+                                                     : Value::Int(1);
+    } else {
+      v = a.input->Eval(t, r.schema());
+    }
+    retained += g->accs[k].Feed(v, a);
+  }
+  return retained;
+}
+
+// Serial grouping with memory-cap accounting. On failure *mem_trip tells
+// the caller whether the failure was a memory charge (survivable by
+// spilling) or something else (deadline, row cap, injected transient).
+Status FeedRows(const Relation& r, const ResolvedGP& rs,
+                const ExecContext& ctx, exec::OpMemory* mem, GroupMap* gm,
+                bool* mem_trip) {
+  const GroupBySpec& spec = *rs.spec;
+  for (const Tuple& t : r.rows()) {
+    GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
+    std::string key = EncodeTupleKey(t, rs.gcol_idx, rs.gvid_idx);
+    auto it = gm->groups.find(key);
+    if (it == gm->groups.end()) {
+      Status cs =
+          mem->Charge(key.size() + internal::ApproxTupleBytes(t) +
+                          spec.aggs.size() * sizeof(Accumulator) + 96,
+                      "group-by");
+      if (!cs.ok()) {
+        if (mem_trip != nullptr) *mem_trip = true;
+        return cs;
+      }
+      Group g;
+      g.representative = t;
+      g.accs.resize(spec.aggs.size());
+      it = gm->groups.emplace(key, std::move(g)).first;
+      gm->order.push_back(std::move(key));
+    }
+    uint64_t retained = FeedRow(rs, r, t, &it->second);
+    if (retained > 0) {
+      Status cs = mem->Charge(retained, "group-by");
+      if (!cs.ok()) {
+        if (mem_trip != nullptr) *mem_trip = true;
+        return cs;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Emits one output row per group in first-seen order. `ordinal` threads
+// the synthetic group row id across calls, so spilled partitions emit
+// globally unique ids exactly like the single in-memory map would.
+Status EmitGroups(const ResolvedGP& rs, const GroupMap& gm,
+                  const ExecContext& ctx, RowId* ordinal, Relation* out) {
+  const GroupBySpec& spec = *rs.spec;
+  for (const std::string& key : gm.order) {
+    const Group& g = gm.groups.at(key);
+    Tuple t;
+    t.values.reserve(static_cast<size_t>(rs.out_schema.size()));
+    for (int i : rs.gcol_idx) t.values.push_back(g.representative.values[i]);
+    for (size_t k = 0; k < spec.aggs.size(); ++k) {
+      t.values.push_back(g.accs[k].Result(spec.aggs[k]));
+    }
+    t.vids.reserve(static_cast<size_t>(rs.out_vschema.size()));
+    for (int i : rs.gvid_idx) t.vids.push_back(g.representative.vids[i]);
+    if (rs.synthetic_vid) t.vids.push_back((*ordinal)++);
+    out->Add(std::move(t));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "group-by"));
+  }
+  return Status::OK();
+}
+
+// Out-of-core aggregation: partition input rows by group-key hash into
+// SpillFile runs (each group lands wholly in one partition, so partition
+// group maps are disjoint), aggregate each partition in memory, recurse on
+// partitions whose maps still overflow. A partition irreducible at max
+// recursion (a single group with an over-budget DISTINCT dedup set) keeps
+// the memory-cap error: unlike the join there is no chunked fallback that
+// preserves DISTINCT semantics with O(1) state.
+Status SpillAggPartition(const Relation& r, const ResolvedGP& rs,
+                         const ExecContext& ctx, int depth, RowId* ordinal,
+                         Relation* out) {
+  OperatorStats* st = ctx.stats;
+  const SpillConfig& cfg = *ctx.spill;
+  const int parts = cfg.partitions < 2 ? 2 : cfg.partitions;
+  std::vector<SpillFile> files;
+  files.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    GSOPT_ASSIGN_OR_RETURN(SpillFile f,
+                           SpillFile::Create(cfg.dir, ctx.fault));
+    files.push_back(std::move(f));
+  }
+  std::vector<int64_t> counts(static_cast<size_t>(parts), 0);
+  std::string key, scratch;
+  for (const Tuple& t : r.rows()) {
+    GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by-spill"));
+    EncodeTupleKeyInto(t, rs.gcol_idx, rs.gvid_idx, &key);
+    size_t p =
+        internal::SpillPartitionHash(key, depth) % static_cast<size_t>(parts);
+    GSOPT_RETURN_IF_ERROR(
+        internal::WriteTupleRecord(&files[p], t, 0, &scratch));
+    ++counts[p];
+  }
+  for (int p = 0; p < parts; ++p) {
+    if (counts[p] == 0) continue;
+    if (st != nullptr) ++st->spill_partitions;
+    Relation part(r.schema(), r.vschema());
+    GSOPT_RETURN_IF_ERROR(files[p].Rewind());
+    for (int64_t k = 0; k < counts[p]; ++k) {
+      Tuple t;
+      int64_t orig = 0;
+      GSOPT_RETURN_IF_ERROR(
+          internal::ReadTupleRecord(&files[p], &t, &orig));
+      part.Add(std::move(t));
+    }
+    if (st != nullptr) {
+      st->spill_bytes_written += files[p].bytes_written();
+      st->spill_bytes_read += files[p].bytes_read();
+    }
+    files[p].Discard();
+
+    GroupMap gm;
+    exec::OpMemory mem(ctx);
+    bool trip = false;
+    Status s = FeedRows(part, rs, ctx, &mem, &gm, &trip);
+    if (s.ok()) {
+      GSOPT_RETURN_IF_ERROR(EmitGroups(rs, gm, ctx, ordinal, out));
+      continue;
+    }
+    if (!trip || depth >= cfg.max_recursion) return s;
+    mem.Release();
+    gm = GroupMap();
+    if (st != nullptr) ++st->spill_recursions;
+    GSOPT_RETURN_IF_ERROR(
+        SpillAggPartition(part, rs, ctx, depth + 1, ordinal, out));
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -211,38 +392,34 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
     synthetic_vid = true;
   }
 
-  struct Group {
-    Tuple representative;
-    std::vector<Accumulator> accs;
-  };
-  std::unordered_map<std::string, Group> groups;
-  std::vector<std::string> order;  // first-seen order, for determinism
+  ResolvedGP rs;
+  rs.spec = &spec;
+  rs.gcol_idx = std::move(gcol_idx);
+  rs.gvid_idx = std::move(gvid_idx);
+  rs.out_schema = out_schema;
+  rs.out_vschema = out_vschema;
+  rs.synthetic_vid = synthetic_vid;
+  // Resolve COUNT_PRESENT vid indices once (validated above).
+  rs.presence_idx.assign(spec.aggs.size(), -1);
+  for (size_t k = 0; k < spec.aggs.size(); ++k) {
+    if (spec.aggs[k].func == AggFunc::kCountPresence) {
+      rs.presence_idx[k] = r.vschema().Find(spec.aggs[k].presence_rel);
+    }
+  }
+  for (const AggSpec& a : spec.aggs) {
+    rs.has_distinct = rs.has_distinct || a.distinct;
+  }
 
   if (ctx.stats != nullptr) {
     ctx.stats->rows_in += static_cast<uint64_t>(r.NumRows());
   }
 
-  // Resolve COUNT_PRESENT vid indices once (validated above).
-  std::vector<int> presence_idx(spec.aggs.size(), -1);
-  for (size_t k = 0; k < spec.aggs.size(); ++k) {
-    if (spec.aggs[k].func == AggFunc::kCountPresence) {
-      presence_idx[k] = r.vschema().Find(spec.aggs[k].presence_rel);
-    }
-  }
-  auto feed_row = [&](const Tuple& t, Group* g) {
-    for (size_t k = 0; k < spec.aggs.size(); ++k) {
-      const AggSpec& a = spec.aggs[k];
-      Value v;
-      if (a.func == AggFunc::kCountStar || a.func == AggFunc::kGroupFlag) {
-        v = Value::Int(1);
-      } else if (a.func == AggFunc::kCountPresence) {
-        v = (t.vids[presence_idx[k]] == kNullRowId) ? Value::Null()
-                                                    : Value::Int(1);
-      } else {
-        v = a.input->Eval(t, r.schema());
-      }
-      g->accs[k].Feed(v, a);
-    }
+  Relation out(out_schema, out_vschema);
+  RowId ordinal = 0;
+
+  auto spill_all = [&]() -> Status {
+    if (ctx.stats != nullptr) ctx.stats->spilled = true;
+    return SpillAggPartition(r, rs, ctx, 0, &ordinal, &out);
   };
 
   // Parallel path: per-lane partial aggregation over row morsels, merged
@@ -251,87 +428,94 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
   // MergeFrom handles everything else. Bag-equal to the serial path: only
   // which row represents a group (IdentityEquals-equal on the group key by
   // construction) and the synthetic group ordinals can differ.
-  bool has_distinct = false;
-  for (const AggSpec& a : spec.aggs) has_distinct = has_distinct || a.distinct;
-  if (!has_distinct && ctx.Parallel(r.NumRows())) {
+  if (!rs.has_distinct && ctx.Parallel(r.NumRows())) {
+    if (ctx.fault != nullptr) {
+      GSOPT_RETURN_IF_ERROR(
+          ctx.fault->MaybeFail(FaultSite::kDispatch, "parallel-group-by"));
+    }
     Executor& ex = *ctx.executor;
     const int lanes = ex.lanes();
-    struct LaneGroups {
-      std::unordered_map<std::string, Group> groups;
-      std::vector<std::string> order;
-    };
-    std::vector<LaneGroups> lane_groups(static_cast<size_t>(lanes));
+    const size_t nlanes = static_cast<size_t>(lanes);
+    std::vector<GroupMap> lane_groups(nlanes);
+    // Per-lane group-state ledgers; a memory trip in any lane degrades the
+    // whole aggregation to the serial out-of-core path.
+    std::vector<OpMemory> lane_mem;
+    lane_mem.reserve(nlanes);
+    for (size_t l = 0; l < nlanes; ++l) lane_mem.emplace_back(ctx);
+    std::atomic<bool> mem_trip{false};
     internal::LaneControl control(lanes);
     ex.pool().ParallelFor(
         r.NumRows(), ex.morsel_rows(),
         [&](int lane, int64_t begin, int64_t end) {
           if (control.cancelled()) return;
-          LaneGroups& lg = lane_groups[static_cast<size_t>(lane)];
+          GroupMap& lg = lane_groups[static_cast<size_t>(lane)];
+          OpMemory& mem = lane_mem[static_cast<size_t>(lane)];
           std::string key;
           for (int64_t i = begin; i < end; ++i) {
             Status s = ctx.Tick("group-by");
             if (!s.ok()) return control.Fail(lane, std::move(s));
             const Tuple& t = r.row(i);
-            EncodeTupleKeyInto(t, gcol_idx, gvid_idx, &key);
+            EncodeTupleKeyInto(t, rs.gcol_idx, rs.gvid_idx, &key);
             auto it = lg.groups.find(key);
             if (it == lg.groups.end()) {
+              s = mem.Charge(key.size() + internal::ApproxTupleBytes(t) +
+                                 spec.aggs.size() * sizeof(Accumulator) + 96,
+                             "group-by");
+              if (!s.ok()) {
+                mem_trip.store(true, std::memory_order_relaxed);
+                return control.Fail(lane, std::move(s));
+              }
               Group g;
               g.representative = t;
               g.accs.resize(spec.aggs.size());
               it = lg.groups.emplace(key, std::move(g)).first;
               lg.order.push_back(key);
             }
-            feed_row(t, &it->second);
+            FeedRow(rs, r, t, &it->second);
           }
         });
-    GSOPT_RETURN_IF_ERROR(control.First());
-    for (LaneGroups& lg : lane_groups) {
-      for (std::string& key : lg.order) {
-        Group& g = lg.groups.at(key);
-        auto it = groups.find(key);
-        if (it == groups.end()) {
-          order.push_back(key);
-          groups.emplace(std::move(key), std::move(g));
-          continue;
-        }
-        for (size_t k = 0; k < spec.aggs.size(); ++k) {
-          it->second.accs[k].MergeFrom(g.accs[k]);
+    Status first = control.First();
+    if (!first.ok()) {
+      if (!mem_trip.load(std::memory_order_relaxed) || !ctx.SpillEnabled()) {
+        return first;
+      }
+      for (OpMemory& m : lane_mem) m.Release();
+      lane_groups.clear();
+      GSOPT_RETURN_IF_ERROR(spill_all());
+    } else {
+      GroupMap gm;
+      for (GroupMap& lg : lane_groups) {
+        for (std::string& key : lg.order) {
+          Group& g = lg.groups.at(key);
+          auto it = gm.groups.find(key);
+          if (it == gm.groups.end()) {
+            gm.order.push_back(key);
+            gm.groups.emplace(std::move(key), std::move(g));
+            continue;
+          }
+          for (size_t k = 0; k < spec.aggs.size(); ++k) {
+            it->second.accs[k].MergeFrom(g.accs[k]);
+          }
         }
       }
+      GSOPT_RETURN_IF_ERROR(EmitGroups(rs, gm, ctx, &ordinal, &out));
     }
   } else {
-    for (const Tuple& t : r.rows()) {
-      GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
-      std::string key = EncodeTupleKey(t, gcol_idx, gvid_idx);
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        Group g;
-        g.representative = t;
-        g.accs.resize(spec.aggs.size());
-        it = groups.emplace(key, std::move(g)).first;
-        order.push_back(key);
-      }
-      feed_row(t, &it->second);
+    GroupMap gm;
+    OpMemory mem(ctx);
+    bool trip = false;
+    Status s = FeedRows(r, rs, ctx, &mem, &gm, &trip);
+    if (s.ok()) {
+      GSOPT_RETURN_IF_ERROR(EmitGroups(rs, gm, ctx, &ordinal, &out));
+    } else if (trip && ctx.SpillEnabled()) {
+      mem.Release();
+      gm = GroupMap();
+      GSOPT_RETURN_IF_ERROR(spill_all());
+    } else {
+      return s;
     }
   }
 
-  Relation out(out_schema, out_vschema);
-  out.Reserve(static_cast<int64_t>(order.size()));
-  RowId group_ordinal = 0;
-  for (const std::string& key : order) {
-    const Group& g = groups.at(key);
-    Tuple t;
-    t.values.reserve(out_schema.size());
-    for (int i : gcol_idx) t.values.push_back(g.representative.values[i]);
-    for (size_t k = 0; k < spec.aggs.size(); ++k) {
-      t.values.push_back(g.accs[k].Result(spec.aggs[k]));
-    }
-    t.vids.reserve(out_vschema.size());
-    for (int i : gvid_idx) t.vids.push_back(g.representative.vids[i]);
-    if (synthetic_vid) t.vids.push_back(group_ordinal++);
-    out.Add(std::move(t));
-    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "group-by"));
-  }
   if (ctx.stats != nullptr) {
     ctx.stats->rows_out += static_cast<uint64_t>(out.NumRows());
   }

@@ -7,6 +7,7 @@
 #include "base/check.h"
 #include "exec/join_internal.h"
 #include "exec/keys.h"
+#include "exec/spill.h"
 
 namespace gsopt::exec {
 
@@ -41,11 +42,38 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
 
   if (plan.usable()) {
     if (st != nullptr) st->hash_path = true;
+    // Snapshot counters the build loop below increments, so an aborted
+    // build (memory-cap trip handing off to the spill path, which recounts
+    // from scratch) does not double-book them.
+    uint64_t build_rows_before = st != nullptr ? st->build_rows : 0;
+    uint64_t null_skips_before = st != nullptr ? st->null_key_skips : 0;
+    OpMemory mem(ctx);
     std::unordered_map<std::string, std::vector<int64_t>> table;
     std::string key;
     uint64_t built = 0;
     for (int64_t j = 0; j < b.NumRows(); ++j) {
       if (EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
+        Status cs = mem.Charge(internal::ApproxTupleBytes(b.row(j)) + 64 +
+                                   key.size(),
+                               "join");
+        if (!cs.ok()) {
+          // The build state does not fit (or an alloc fault fired). With
+          // spilling enabled, degrade to the out-of-core grace join; the
+          // reservation and the partial table unwind right here.
+          if (!ctx.SpillEnabled()) return cs;
+          mem.Release();
+          table.clear();
+          if (st != nullptr) {
+            st->build_rows = build_rows_before;
+            st->null_key_skips = null_skips_before;
+          }
+          auto spilled = internal::SpillJoinCore(a, b, plan, ctx);
+          if (spilled.ok() && st != nullptr) {
+            st->rows_in += static_cast<uint64_t>(a.NumRows()) +
+                           static_cast<uint64_t>(b.NumRows());
+          }
+          return spilled;
+        }
         std::vector<int64_t>& bucket = table[key];
         bucket.push_back(j);
         ++built;
@@ -407,7 +435,8 @@ StatusOr<Relation> GeneralizedSelection(
   // The internal selection pass shares the budget and executor but not the
   // stats node: GS accounts for its own input/output exactly once and
   // counts the pass's predicate evaluations itself.
-  ExecContext select_ctx{ctx.budget, nullptr, ctx.executor};
+  ExecContext select_ctx{ctx.budget, nullptr, ctx.executor, ctx.fault,
+                         ctx.spill};
   GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, select_ctx));
   RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
   if (ctx.stats != nullptr) {

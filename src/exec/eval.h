@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/budget.h"
+#include "base/fault_injector.h"
 #include "base/status.h"
 #include "exec/executor.h"
 #include "exec/stats.h"
@@ -35,6 +36,22 @@ namespace gsopt::exec {
 // A preserved-relation spec for generalized selection: the set of base
 // relation names forming one r_i of sigma*_p[r_1,...,r_n](r).
 using PreservedGroup = std::set<std::string>;
+
+// Out-of-core degradation policy. When enabled, a hash join or aggregation
+// that trips the ResourceBudget memory cap radix-partitions its state into
+// SpillFile runs and processes the partitions one at a time, recursing on
+// partitions that still do not fit (exec/spill.cc). Disabled, a memory
+// trip surfaces as kResourceExhausted naming the memory cap.
+struct SpillConfig {
+  bool enabled = false;
+  // Directory for temp runs; empty uses the system temp dir.
+  std::string dir;
+  // Radix fan-out per partitioning level.
+  int partitions = 8;
+  // Levels of repartitioning before the join falls back to block-chunked
+  // processing (identical-key skew cannot be split by rehashing).
+  int max_recursion = 3;
+};
 
 // Per-invocation execution context threaded into every kernel. Default
 // constructed it is a no-op (unlimited budget, no stats), so direct kernel
@@ -52,20 +69,65 @@ struct ExecContext {
   // row order may differ. The budget (if any) is charged from all lanes;
   // ResourceBudget's probes are thread-safe.
   Executor* executor = nullptr;
+  // Chaos harness hook: when non-null, kernels probe it at allocation,
+  // spill-I/O, budget-check and dispatch points (base/fault_injector.h).
+  FaultInjector* fault = nullptr;
+  // Out-of-core policy; null or !enabled means memory trips are fatal.
+  const SpillConfig* spill = nullptr;
 
   Status ChargeRows(uint64_t n, const char* stage) const {
     if (budget == nullptr) return Status::OK();
     return budget->ChargeRows(n, stage);
   }
   Status Tick(const char* stage) const {
+    if (fault != nullptr) {
+      GSOPT_RETURN_IF_ERROR(fault->MaybeFail(FaultSite::kBudgetCheck, stage));
+    }
     if (budget == nullptr) return Status::OK();
     return budget->CheckDeadline(stage);
   }
+  // Charges operator-state bytes, probing the alloc fault site first.
+  // Kernels route every charge through a MemoryReservation so error paths
+  // release by construction; this helper exists for the reservation and
+  // for one-shot probes.
+  Status ChargeMemory(uint64_t n, const char* stage) const {
+    if (fault != nullptr) {
+      GSOPT_RETURN_IF_ERROR(fault->MaybeFail(FaultSite::kAlloc, stage));
+    }
+    if (budget == nullptr) return Status::OK();
+    return budget->ChargeMemory(n, stage);
+  }
+  bool SpillEnabled() const { return spill != nullptr && spill->enabled; }
   // True when `rows` input rows should take a parallel kernel path.
   bool Parallel(int64_t rows) const {
     return executor != nullptr && executor->lanes() > 1 &&
            rows >= executor->min_parallel_rows();
   }
+};
+
+// MemoryReservation bound to an ExecContext: charges probe the alloc fault
+// site and the budget's memory cap, and the destructor releases whatever
+// was charged. One per operator (or per lane in parallel kernels; not
+// thread-safe across lanes).
+class OpMemory {
+ public:
+  OpMemory() = default;
+  explicit OpMemory(const ExecContext& ctx)
+      : ctx_(&ctx), reservation_(ctx.budget) {}
+
+  Status Charge(uint64_t n, const char* stage) {
+    if (ctx_ != nullptr && ctx_->fault != nullptr) {
+      GSOPT_RETURN_IF_ERROR(
+          ctx_->fault->MaybeFail(FaultSite::kAlloc, stage));
+    }
+    return reservation_.Charge(n, stage);
+  }
+  void Release() { reservation_.Release(); }
+  uint64_t bytes() const { return reservation_.bytes(); }
+
+ private:
+  const ExecContext* ctx_ = nullptr;
+  MemoryReservation reservation_;
 };
 
 StatusOr<Relation> Product(const Relation& a, const Relation& b,

@@ -27,6 +27,7 @@
 #include "exec/hash_table.h"
 #include "exec/join_internal.h"
 #include "exec/lane_control.h"
+#include "exec/spill.h"
 
 namespace gsopt::exec::internal {
 
@@ -53,6 +54,10 @@ int64_t ClampReserve(uint64_t want) {
 
 StatusOr<Relation> ParallelSelect(const Relation& r, const Predicate& p,
                                   const ExecContext& ctx) {
+  if (ctx.fault != nullptr) {
+    GSOPT_RETURN_IF_ERROR(
+        ctx.fault->MaybeFail(FaultSite::kDispatch, "parallel-select"));
+  }
   Executor& ex = *ctx.executor;
   const int lanes = ex.lanes();
   std::vector<Relation> lane_out(static_cast<size_t>(lanes),
@@ -91,6 +96,10 @@ StatusOr<Relation> ParallelSelect(const Relation& r, const Predicate& p,
 
 StatusOr<Relation> ParallelProduct(const Relation& a, const Relation& b,
                                    const ExecContext& ctx) {
+  if (ctx.fault != nullptr) {
+    GSOPT_RETURN_IF_ERROR(
+        ctx.fault->MaybeFail(FaultSite::kDispatch, "parallel-product"));
+  }
   Executor& ex = *ctx.executor;
   const int lanes = ex.lanes();
   Schema out_schema = Schema::Concat(a.schema(), b.schema());
@@ -162,6 +171,15 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
       std::vector<std::vector<JoinHashTable::Entry>>(
           static_cast<size_t>(parts)));
   std::vector<OperatorStats> lane_stats(nlanes);
+  // Per-lane ledgers for build-state bytes (arena keys + entries, then the
+  // pass-2 table slots); released by destruction on every exit path. A
+  // memory-cap trip in any lane raises mem_trip so the fan-in can tell a
+  // survivable overflow (degrade to the serial out-of-core join) from a
+  // deadline or row-cap failure (propagate).
+  std::vector<OpMemory> lane_mem;
+  lane_mem.reserve(nlanes);
+  for (size_t l = 0; l < nlanes; ++l) lane_mem.emplace_back(ctx);
+  std::atomic<bool> mem_trip{false};
   LaneControl control(lanes);
 
   // Pass 1: build-side encode + hash + partition.
@@ -172,6 +190,7 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
         KeyArena& arena = arenas[static_cast<size_t>(lane)];
         auto& my_parts = lane_parts[static_cast<size_t>(lane)];
         OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
+        OpMemory& mem = lane_mem[static_cast<size_t>(lane)];
         std::string key;
         for (int64_t j = begin; j < end; ++j) {
           Status s = ctx.Tick("join");
@@ -179,6 +198,11 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
           if (!EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
             ++st.null_key_skips;
             continue;
+          }
+          s = mem.Charge(key.size() + sizeof(JoinHashTable::Entry), "join");
+          if (!s.ok()) {
+            mem_trip.store(true, std::memory_order_relaxed);
+            return control.Fail(lane, std::move(s));
           }
           uint64_t h = HashKeyBytes(key);
           uint64_t off = arena.Append(key);
@@ -188,7 +212,36 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
           ++st.build_rows;
         }
       });
-  GSOPT_RETURN_IF_ERROR(control.First());
+  Status pass1 = control.First();
+  // Pass-2 table slots are charged up front from the coordinating thread
+  // (per entry: its copy into the combined vector plus ~2 open-addressing
+  // slots at the table's load factor).
+  OpMemory pass2_mem(ctx);
+  if (pass1.ok()) {
+    uint64_t entries_total = 0;
+    for (const auto& lp : lane_parts) {
+      for (const auto& v : lp) entries_total += v.size();
+    }
+    Status s = pass2_mem.Charge(
+        entries_total * (sizeof(JoinHashTable::Entry) + 16), "join");
+    if (!s.ok()) {
+      mem_trip.store(true, std::memory_order_relaxed);
+      pass1 = std::move(s);
+    }
+  }
+  if (!pass1.ok()) {
+    if (!mem_trip.load(std::memory_order_relaxed) || !ctx.SpillEnabled()) {
+      return pass1;
+    }
+    // Degrade out-of-core: drop the parallel build state (and its charges)
+    // and hand the whole join to the serial grace path. rows_in was
+    // already recorded by ParallelJoinCore; SpillJoinCore leaves it alone.
+    for (OpMemory& m : lane_mem) m.Release();
+    pass2_mem.Release();
+    arenas.clear();
+    lane_parts.clear();
+    return SpillJoinCore(a, b, plan, ctx);
+  }
 
   // Pass 2: build one open-addressing table per partition. Partitions are
   // disjoint, so this fans out with morsel size 1.
@@ -353,6 +406,10 @@ StatusOr<JoinCoreResult> ParallelJoinCore(const Relation& a,
                                           const HashPlan& plan,
                                           const Predicate& p,
                                           const ExecContext& ctx) {
+  if (ctx.fault != nullptr) {
+    GSOPT_RETURN_IF_ERROR(
+        ctx.fault->MaybeFail(FaultSite::kDispatch, "parallel-join"));
+  }
   JoinCoreResult res;
   res.out = Relation(Schema::Concat(a.schema(), b.schema()),
                      VirtualSchema::Concat(a.vschema(), b.vschema()));
@@ -371,6 +428,10 @@ StatusOr<JoinCoreResult> ParallelJoinCore(const Relation& a,
 Status ParallelGsResurrect(const Relation& r, const GroupIndex& gi,
                            const std::unordered_set<std::string>& surviving,
                            Relation* out, const ExecContext& ctx) {
+  if (ctx.fault != nullptr) {
+    GSOPT_RETURN_IF_ERROR(
+        ctx.fault->MaybeFail(FaultSite::kDispatch, "parallel-gs"));
+  }
   Executor& ex = *ctx.executor;
   const int lanes = ex.lanes();
   const size_t nlanes = static_cast<size_t>(lanes);

@@ -1,0 +1,429 @@
+#include "exec/spill.h"
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "exec/hash_table.h"
+
+namespace gsopt::exec::internal {
+
+namespace {
+
+// Per-entry overhead estimate for the partition-local build table
+// (unordered_map node + bucket-vector slot), excluding the key bytes.
+constexpr uint64_t kTableEntryBytes = 64;
+
+void PutRaw(std::string* buf, const void* p, size_t n) {
+  buf->append(static_cast<const char*>(p), n);
+}
+
+struct RecordCursor {
+  const char* p;
+  const char* end;
+
+  bool Take(void* out, size_t n) {
+    if (static_cast<size_t>(end - p) < n) return false;
+    std::memcpy(out, p, n);
+    p += n;
+    return true;
+  }
+};
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t ApproxTupleBytes(const Tuple& t) {
+  uint64_t n = sizeof(Tuple) + t.values.size() * sizeof(Value) +
+               t.vids.size() * sizeof(RowId);
+  for (const Value& v : t.values) {
+    if (v.type() == ValueType::kString) n += v.AsString().size();
+  }
+  return n;
+}
+
+uint64_t SpillPartitionHash(const std::string& key, int depth) {
+  // The in-memory parallel join routes on the raw high bits of
+  // HashKeyBytes; remixing with a depth salt gives every recursion level
+  // (and the level-0 spill itself) an independent bit pattern.
+  return Mix64(HashKeyBytes(key) ^
+               (static_cast<uint64_t>(depth) * 0xd6e8feb86659fd93ull));
+}
+
+void AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf) {
+  size_t len_pos = buf->size();
+  uint32_t payload_len = 0;
+  PutRaw(buf, &payload_len, sizeof payload_len);  // patched below
+  PutRaw(buf, &orig, sizeof orig);
+  uint16_t nvalues = static_cast<uint16_t>(t.values.size());
+  uint16_t nvids = static_cast<uint16_t>(t.vids.size());
+  PutRaw(buf, &nvalues, sizeof nvalues);
+  PutRaw(buf, &nvids, sizeof nvids);
+  for (const Value& v : t.values) {
+    uint8_t tag = static_cast<uint8_t>(v.type());
+    PutRaw(buf, &tag, 1);
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt: {
+        int64_t x = v.AsInt();
+        PutRaw(buf, &x, sizeof x);
+        break;
+      }
+      case ValueType::kDouble: {
+        double x = v.AsDouble();
+        PutRaw(buf, &x, sizeof x);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        uint32_t n = static_cast<uint32_t>(s.size());
+        PutRaw(buf, &n, sizeof n);
+        buf->append(s);
+        break;
+      }
+    }
+  }
+  for (RowId vid : t.vids) PutRaw(buf, &vid, sizeof vid);
+  payload_len = static_cast<uint32_t>(buf->size() - len_pos - 4);
+  std::memcpy(buf->data() + len_pos, &payload_len, sizeof payload_len);
+}
+
+Status WriteTupleRecord(SpillFile* f, const Tuple& t, int64_t orig,
+                        std::string* scratch) {
+  scratch->clear();
+  AppendTupleRecord(t, orig, scratch);
+  return f->Append(scratch->data(), scratch->size());
+}
+
+Status ReadTupleRecord(SpillFile* f, Tuple* t, int64_t* orig) {
+  uint32_t payload_len = 0;
+  GSOPT_RETURN_IF_ERROR(f->ReadExact(&payload_len, sizeof payload_len));
+  std::string payload(payload_len, '\0');
+  GSOPT_RETURN_IF_ERROR(f->ReadExact(payload.data(), payload_len));
+  RecordCursor c{payload.data(), payload.data() + payload.size()};
+  uint16_t nvalues = 0, nvids = 0;
+  if (!c.Take(orig, sizeof *orig) || !c.Take(&nvalues, sizeof nvalues) ||
+      !c.Take(&nvids, sizeof nvids)) {
+    return Status::Internal("spill: malformed record header");
+  }
+  t->values.clear();
+  t->values.reserve(nvalues);
+  t->vids.clear();
+  t->vids.reserve(nvids);
+  for (uint16_t k = 0; k < nvalues; ++k) {
+    uint8_t tag = 0;
+    if (!c.Take(&tag, 1)) return Status::Internal("spill: malformed value");
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        t->values.push_back(Value::Null());
+        break;
+      case ValueType::kInt: {
+        int64_t x = 0;
+        if (!c.Take(&x, sizeof x)) {
+          return Status::Internal("spill: malformed int value");
+        }
+        t->values.push_back(Value::Int(x));
+        break;
+      }
+      case ValueType::kDouble: {
+        double x = 0;
+        if (!c.Take(&x, sizeof x)) {
+          return Status::Internal("spill: malformed double value");
+        }
+        t->values.push_back(Value::Double(x));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t n = 0;
+        if (!c.Take(&n, sizeof n) ||
+            static_cast<size_t>(c.end - c.p) < n) {
+          return Status::Internal("spill: malformed string value");
+        }
+        t->values.push_back(Value::String(std::string(c.p, n)));
+        c.p += n;
+        break;
+      }
+      default:
+        return Status::Internal("spill: unknown value tag");
+    }
+  }
+  for (uint16_t k = 0; k < nvids; ++k) {
+    RowId vid = kNullRowId;
+    if (!c.Take(&vid, sizeof vid)) {
+      return Status::Internal("spill: malformed vid");
+    }
+    t->vids.push_back(vid);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// One materialized partition side: rows plus each row's original index in
+// the operator's input relation (what the matched bitmaps are keyed by).
+struct SpillSide {
+  Relation rows;
+  std::vector<int64_t> orig;
+
+  SpillSide(const Schema& s, const VirtualSchema& vs) : rows(s, vs) {}
+};
+
+struct JoinSpillState {
+  const ExecContext& ctx;
+  const SpillConfig& cfg;
+  const HashPlan& plan;
+  Predicate residual;
+  JoinCoreResult* res;
+};
+
+using BuildTable = std::unordered_map<std::string, std::vector<int64_t>>;
+
+// Probes every probe-side row of the partition against `table` (local
+// build indices into build.rows), emitting matches with globally-indexed
+// matched flags.
+Status ProbePartition(JoinSpillState& s, const BuildTable& table,
+                      const SpillSide& build, const Relation& probe_rel,
+                      const std::vector<int64_t>& probe_orig) {
+  OperatorStats* st = s.ctx.stats;
+  const Schema& out_schema = s.res->out.schema();
+  std::string key;
+  for (int64_t i = 0; i < probe_rel.NumRows(); ++i) {
+    GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
+    if (!EncodeKeys(s.plan.a_keys, probe_rel.row(i), probe_rel.schema(),
+                    &key)) {
+      continue;
+    }
+    if (st != nullptr) ++st->probe_rows;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (int64_t j : it->second) {
+      GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
+      Tuple t = Tuple::Concat(probe_rel.row(i), build.rows.row(j));
+      if (st != nullptr) ++st->residual_evals;
+      if (s.residual.Satisfied(t, out_schema)) {
+        s.res->a_matched[static_cast<size_t>(probe_orig[static_cast<size_t>(
+            i)])] = 1;
+        s.res->b_matched[static_cast<size_t>(
+            build.orig[static_cast<size_t>(j)])] = 1;
+        s.res->out.Add(std::move(t));
+        GSOPT_RETURN_IF_ERROR(s.ctx.ChargeRows(1, "join-spill"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Terminal fallback for partitions that still overflow at max recursion
+// (identical-key skew): build the table over budget-sized chunks of the
+// build side, rescanning the probe side per chunk. Always terminates --
+// a chunk holds at least one row even if that row alone overflows the cap
+// (the engine's minimum working memory is one build row).
+Status BlockChunkedJoin(JoinSpillState& s, const SpillSide& build,
+                        const SpillSide& probe) {
+  OperatorStats* st = s.ctx.stats;
+  const int64_t n = build.rows.NumRows();
+  int64_t start = 0;
+  std::string key;
+  while (start < n) {
+    OpMemory mem(s.ctx);
+    BuildTable table;
+    int64_t j = start;
+    for (; j < n; ++j) {
+      GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
+      if (!EncodeKeys(s.plan.b_keys, build.rows.row(j),
+                      build.rows.schema(), &key)) {
+        continue;
+      }
+      Status cs = mem.Charge(ApproxTupleBytes(build.rows.row(j)) +
+                                 kTableEntryBytes + key.size(),
+                             "join-spill");
+      if (!cs.ok() && !table.empty()) break;
+      std::vector<int64_t>& bucket = table[key];
+      bucket.push_back(j);
+      if (st != nullptr) {
+        ++st->build_rows;
+        st->max_bucket = std::max<uint64_t>(st->max_bucket, bucket.size());
+      }
+    }
+    if (!table.empty()) {
+      GSOPT_RETURN_IF_ERROR(
+          ProbePartition(s, table, build, probe.rows, probe.orig));
+    }
+    if (st != nullptr) ++st->spill_chunks;
+    start = j > start ? j : start + 1;
+  }
+  return Status::OK();
+}
+
+Status PartitionAndProcess(JoinSpillState& s, const Relation& build_rel,
+                           const int64_t* build_orig,
+                           const Relation& probe_rel,
+                           const int64_t* probe_orig, int depth);
+
+// Tries the partition in memory; overflow recurses (fresh hash bits) or
+// falls back to block chunking at max depth.
+Status ProcessPartition(JoinSpillState& s, const SpillSide& build,
+                        const SpillSide& probe, int depth) {
+  OperatorStats* st = s.ctx.stats;
+  OpMemory mem(s.ctx);
+  BuildTable table;
+  bool fits = true;
+  uint64_t inserted = 0;
+  std::string key;
+  for (int64_t j = 0; j < build.rows.NumRows(); ++j) {
+    GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
+    if (!EncodeKeys(s.plan.b_keys, build.rows.row(j), build.rows.schema(),
+                    &key)) {
+      continue;
+    }
+    Status cs = mem.Charge(ApproxTupleBytes(build.rows.row(j)) +
+                               kTableEntryBytes + key.size(),
+                           "join-spill");
+    if (!cs.ok()) {
+      fits = false;
+      break;
+    }
+    std::vector<int64_t>& bucket = table[key];
+    bucket.push_back(j);
+    ++inserted;
+    if (st != nullptr) {
+      st->max_bucket = std::max<uint64_t>(st->max_bucket, bucket.size());
+    }
+  }
+  if (fits) {
+    if (st != nullptr) st->build_rows += inserted;
+    return ProbePartition(s, table, build, probe.rows, probe.orig);
+  }
+  mem.Release();
+  table.clear();
+  if (depth >= s.cfg.max_recursion) {
+    return BlockChunkedJoin(s, build, probe);
+  }
+  if (st != nullptr) ++st->spill_recursions;
+  return PartitionAndProcess(s, build.rows, build.orig.data(), probe.rows,
+                             probe.orig.data(), depth);
+}
+
+Status PartitionAndProcess(JoinSpillState& s, const Relation& build_rel,
+                           const int64_t* build_orig,
+                           const Relation& probe_rel,
+                           const int64_t* probe_orig, int depth) {
+  OperatorStats* st = s.ctx.stats;
+  const int parts = s.cfg.partitions < 2 ? 2 : s.cfg.partitions;
+  std::vector<SpillFile> bfiles, pfiles;
+  bfiles.reserve(static_cast<size_t>(parts));
+  pfiles.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    GSOPT_ASSIGN_OR_RETURN(SpillFile bf,
+                           SpillFile::Create(s.cfg.dir, s.ctx.fault));
+    bfiles.push_back(std::move(bf));
+    GSOPT_ASSIGN_OR_RETURN(SpillFile pf,
+                           SpillFile::Create(s.cfg.dir, s.ctx.fault));
+    pfiles.push_back(std::move(pf));
+  }
+  std::vector<int64_t> bcounts(static_cast<size_t>(parts), 0);
+  std::vector<int64_t> pcounts(static_cast<size_t>(parts), 0);
+  std::string key, scratch;
+
+  for (int64_t j = 0; j < build_rel.NumRows(); ++j) {
+    GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
+    if (!EncodeKeys(s.plan.b_keys, build_rel.row(j), build_rel.schema(),
+                    &key)) {
+      // NULL equi-keys never match under 3VL; dropping them here mirrors
+      // the in-memory build (matched flags stay 0 for outer padding).
+      if (st != nullptr && depth == 0) ++st->null_key_skips;
+      continue;
+    }
+    size_t p = SpillPartitionHash(key, depth) % static_cast<size_t>(parts);
+    GSOPT_RETURN_IF_ERROR(WriteTupleRecord(
+        &bfiles[p], build_rel.row(j), build_orig ? build_orig[j] : j,
+        &scratch));
+    ++bcounts[p];
+  }
+  for (int64_t i = 0; i < probe_rel.NumRows(); ++i) {
+    GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
+    if (!EncodeKeys(s.plan.a_keys, probe_rel.row(i), probe_rel.schema(),
+                    &key)) {
+      if (st != nullptr && depth == 0) ++st->null_key_skips;
+      continue;
+    }
+    size_t p = SpillPartitionHash(key, depth) % static_cast<size_t>(parts);
+    GSOPT_RETURN_IF_ERROR(WriteTupleRecord(
+        &pfiles[p], probe_rel.row(i), probe_orig ? probe_orig[i] : i,
+        &scratch));
+    ++pcounts[p];
+  }
+
+  for (int p = 0; p < parts; ++p) {
+    // An empty side means no matches can come from this partition; the
+    // files are unlinked by RAII either way.
+    if (bcounts[p] == 0 || pcounts[p] == 0) continue;
+    if (st != nullptr) ++st->spill_partitions;
+
+    SpillSide build(build_rel.schema(), build_rel.vschema());
+    GSOPT_RETURN_IF_ERROR(bfiles[p].Rewind());
+    for (int64_t k = 0; k < bcounts[p]; ++k) {
+      Tuple t;
+      int64_t orig = 0;
+      GSOPT_RETURN_IF_ERROR(ReadTupleRecord(&bfiles[p], &t, &orig));
+      build.rows.Add(std::move(t));
+      build.orig.push_back(orig);
+    }
+    SpillSide probe(probe_rel.schema(), probe_rel.vschema());
+    GSOPT_RETURN_IF_ERROR(pfiles[p].Rewind());
+    for (int64_t k = 0; k < pcounts[p]; ++k) {
+      Tuple t;
+      int64_t orig = 0;
+      GSOPT_RETURN_IF_ERROR(ReadTupleRecord(&pfiles[p], &t, &orig));
+      probe.rows.Add(std::move(t));
+      probe.orig.push_back(orig);
+    }
+    if (st != nullptr) {
+      st->spill_bytes_written +=
+          bfiles[p].bytes_written() + pfiles[p].bytes_written();
+      st->spill_bytes_read += bfiles[p].bytes_read() + pfiles[p].bytes_read();
+    }
+    // Release the partition's disk space before recursing: peak disk usage
+    // stays one level's runs plus the partition being processed.
+    bfiles[p].Discard();
+    pfiles[p].Discard();
+
+    GSOPT_RETURN_IF_ERROR(ProcessPartition(s, build, probe, depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<JoinCoreResult> SpillJoinCore(const Relation& a, const Relation& b,
+                                       const HashPlan& plan,
+                                       const ExecContext& ctx) {
+  GSOPT_CHECK(plan.usable());
+  GSOPT_CHECK(ctx.SpillEnabled());
+  JoinCoreResult res;
+  res.out = Relation(Schema::Concat(a.schema(), b.schema()),
+                     VirtualSchema::Concat(a.vschema(), b.vschema()));
+  res.a_matched.assign(static_cast<size_t>(a.NumRows()), 0);
+  res.b_matched.assign(static_cast<size_t>(b.NumRows()), 0);
+  OperatorStats* st = ctx.stats;
+  if (st != nullptr) {
+    st->hash_path = true;
+    st->spilled = true;
+  }
+  JoinSpillState state{ctx, *ctx.spill, plan, Predicate(plan.residual), &res};
+  GSOPT_RETURN_IF_ERROR(
+      PartitionAndProcess(state, b, nullptr, a, nullptr, 0));
+  return res;
+}
+
+}  // namespace gsopt::exec::internal

@@ -14,6 +14,12 @@ void OperatorStats::MergeCountersFrom(const OperatorStats& o) {
   max_bucket = std::max(max_bucket, o.max_bucket);
   null_key_skips += o.null_key_skips;
   residual_evals += o.residual_evals;
+  spilled = spilled || o.spilled;
+  spill_partitions += o.spill_partitions;
+  spill_bytes_written += o.spill_bytes_written;
+  spill_bytes_read += o.spill_bytes_read;
+  spill_recursions += o.spill_recursions;
+  spill_chunks += o.spill_chunks;
 }
 
 double OperatorStats::QError() const {
@@ -41,6 +47,17 @@ std::string OperatorStats::ToString(int indent) const {
                   static_cast<unsigned long long>(max_bucket),
                   static_cast<unsigned long long>(null_key_skips),
                   static_cast<unsigned long long>(residual_evals));
+    line += buf;
+  }
+  if (spilled) {
+    std::snprintf(buf, sizeof(buf),
+                  " spill{parts=%llu written=%llu read=%llu recurse=%llu "
+                  "chunks=%llu}",
+                  static_cast<unsigned long long>(spill_partitions),
+                  static_cast<unsigned long long>(spill_bytes_written),
+                  static_cast<unsigned long long>(spill_bytes_read),
+                  static_cast<unsigned long long>(spill_recursions),
+                  static_cast<unsigned long long>(spill_chunks));
     line += buf;
   }
   line += '\n';

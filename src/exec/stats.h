@@ -41,6 +41,15 @@ struct OperatorStats {
   uint64_t null_key_skips = 0;  // rows skipped because an equi-key was NULL
   uint64_t residual_evals = 0;  // residual-predicate evaluations
 
+  // Out-of-core degradation counters (exec/spill.cc): set when the memory
+  // cap tripped and the operator fell back to temp-file partitioning.
+  bool spilled = false;
+  uint64_t spill_partitions = 0;     // partition runs written
+  uint64_t spill_bytes_written = 0;  // bytes staged to temp files
+  uint64_t spill_bytes_read = 0;     // bytes read back
+  uint64_t spill_recursions = 0;     // repartitioning rounds past the first
+  uint64_t spill_chunks = 0;         // block-chunk fallback rounds (skew)
+
   // Wall-clock time, inclusive of children (filled by the interpreter;
   // zero for direct kernel calls).
   std::chrono::nanoseconds wall{0};

@@ -64,7 +64,14 @@ std::string FuzzStats::Summary() const {
       Pct(with_distinct), Pct(with_dup_pair), Pct(with_complex_pred),
       Pct(with_outer_join), plans_checked, plans_skipped, seconds,
       seconds > 0 ? cases / seconds : 0.0);
-  return buf;
+  std::string out = buf;
+  if (chaos_trials > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | chaos: %zu trials, %zu faults fired, %zu spilled runs",
+                  chaos_trials, chaos_faults, chaos_spills);
+    out += buf;
+  }
+  return out;
 }
 
 StatusOr<FuzzStats> RunFuzz(uint64_t seed_start, int num_seeds,
@@ -101,6 +108,9 @@ StatusOr<FuzzStats> RunFuzz(uint64_t seed_start, int num_seeds,
         CheckQuery(fc.query, fc.catalog, options.oracle, &oracle_rng));
     stats.plans_checked += outcome.plans_checked;
     stats.plans_skipped += outcome.plans_skipped;
+    stats.chaos_trials += outcome.chaos_trials;
+    stats.chaos_faults += outcome.chaos_faults;
+    stats.chaos_spills += outcome.chaos_spills;
     if (outcome.skipped) {
       ++stats.skipped;
       continue;

@@ -66,6 +66,11 @@ struct FuzzStats {
   size_t plans_checked = 0;
   size_t plans_skipped = 0;
 
+  // Chaos-oracle accounting (zero unless oracle.run_chaos).
+  size_t chaos_trials = 0;
+  size_t chaos_faults = 0;
+  size_t chaos_spills = 0;
+
   // Feature coverage (the acceptance gate: >=30% views, >=20% aggregated-
   // column predicates).
   int with_view = 0;

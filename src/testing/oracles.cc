@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "algebra/execute.h"
 #include "base/budget.h"
+#include "base/fault_injector.h"
+#include "base/spill_file.h"
 #include "core/optimizer.h"
 #include "core/session.h"
 #include "exec/executor.h"
@@ -49,6 +52,14 @@ std::vector<std::string> CanonicalRowKeys(const Relation& r) {
     keys.push_back(std::move(key));
   }
   return keys;
+}
+
+bool AnySpilled(const exec::OperatorStats& s) {
+  if (s.spilled) return true;
+  for (const auto& c : s.children) {
+    if (c != nullptr && AnySpilled(*c)) return true;
+  }
+  return false;
 }
 
 class OracleRunner {
@@ -102,6 +113,7 @@ class OracleRunner {
   void RunTlp();
   void RunRoundTrip();
   void RunPlanCache();
+  void RunChaos();
 
   const NodePtr& query_;
   const Catalog& catalog_;
@@ -400,6 +412,160 @@ void OracleRunner::RunPlanCache() {
   }
 }
 
+void OracleRunner::RunChaos() {
+  ++outcome_.oracles_run;
+  exec::SpillConfig spill;
+  spill.enabled = true;
+
+  // The leak oracles that every trial -- successful or failed -- must
+  // satisfy: no spill temp file survives an execution, and every byte
+  // charged to the memory ledger was released (RAII hygiene).
+  auto ledger_clean = [&](ResourceBudget* budget, const std::string& label) {
+    const uint64_t files = SpillFile::LiveCount();
+    if (files != 0) {
+      Fail(OracleKind::kChaos,
+           label + " leaked " + std::to_string(files) + " spill temp file(s)");
+      return false;
+    }
+    if (budget->memory_charged() != 0) {
+      Fail(OracleKind::kChaos,
+           label + " left " + std::to_string(budget->memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return false;
+    }
+    return true;
+  };
+
+  // Trial 0: memory starved, no faults. The out-of-core path must
+  // silently absorb the squeeze: same bag as the unconstrained baseline.
+  {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    budget.WithMaxMemory(opt_.chaos_memory_bytes);
+    exec::OperatorStats stats;
+    ExecuteOptions eo;
+    eo.budget = &budget;
+    eo.stats = &stats;
+    eo.spill = &spill;
+    auto got = Execute(query_, catalog_, eo);
+    ++outcome_.chaos_trials;
+    if (!ledger_clean(&budget, "memory-starved trial")) return;
+    if (AnySpilled(stats)) ++outcome_.chaos_spills;
+    if (!got.ok()) {
+      // Row caps and deadlines are legitimate skips. A memory-cap failure
+      // with spilling enabled means degradation did not engage -- except
+      // the documented irreducible case (a single DISTINCT group whose
+      // dedup set alone exceeds the budget), which reports as such.
+      if (got.status().code() == StatusCode::kResourceExhausted &&
+          got.status().message().find("memory cap") == std::string::npos) {
+        ++outcome_.plans_skipped;
+        return;
+      }
+      Fail(OracleKind::kChaos,
+           "memory-starved execution failed despite spilling: " +
+               got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kChaos,
+           "out-of-core result diverges from the in-memory baseline");
+      return;
+    }
+  }
+
+  // Faulted trials: deterministic seeds, every site armed. The contract:
+  // bag-correct success OR a clean typed failure (kResourceExhausted /
+  // kUnavailable) -- and the leak oracles hold either way.
+  for (int trial = 0; trial < opt_.chaos_trials && !outcome_.failed;
+       ++trial) {
+    const uint64_t seed = static_cast<uint64_t>(rng_->Uniform(
+        0, std::numeric_limits<int64_t>::max() - 1));
+    FaultInjector::Options fo;
+    fo.seed = seed;
+    fo.period = opt_.chaos_fault_period;
+    FaultInjector fault(fo);
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    budget.WithMaxMemory(opt_.chaos_memory_bytes);
+    exec::OperatorStats stats;
+    ExecuteOptions eo;
+    eo.budget = &budget;
+    eo.stats = &stats;
+    eo.spill = &spill;
+    eo.fault = &fault;
+    auto got = Execute(query_, catalog_, eo);
+    ++outcome_.chaos_trials;
+    outcome_.chaos_faults += fault.fired_total();
+    if (!ledger_clean(&budget, "fault seed " + std::to_string(seed))) return;
+    if (AnySpilled(stats)) ++outcome_.chaos_spills;
+    if (!got.ok()) {
+      const StatusCode code = got.status().code();
+      if (code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kUnavailable) {
+        continue;  // clean typed failure: the contract holds
+      }
+      Fail(OracleKind::kChaos,
+           "fault seed " + std::to_string(seed) +
+               " produced an unexpected error class: " +
+               got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kChaos,
+           "fault seed " + std::to_string(seed) +
+               " returned success with an incorrect bag (" +
+               std::to_string(fault.fired_total()) + " fault(s) fired)");
+      return;
+    }
+  }
+  if (outcome_.failed) return;
+
+  // Plan-cache poisoning: a session miss whose execution fails under
+  // injection must never install its template; the clean run after it
+  // re-optimizes from scratch and must still be correct.
+  {
+    FaultInjector::Options fo;
+    fo.seed = 1;
+    fo.period = 1;
+    fo.site_mask = FaultInjector::MaskOf({FaultSite::kBudgetCheck});
+    FaultInjector fault(fo);
+    Session session(catalog_,
+                    SessionOptions{}
+                        .WithMaxPlans(std::max<size_t>(opt_.max_plans, 16))
+                        .WithRetries(0));
+    ResourceBudget b1;
+    b1.WithMaxRows(opt_.max_rows_per_exec);
+    auto poisoned =
+        session.Run(query_, ExecOptions{}.WithBudget(&b1).WithFault(&fault));
+    ++outcome_.chaos_trials;
+    outcome_.chaos_faults += fault.fired_total();
+    // A plan with no kernel work never probes the budget site and may
+    // legitimately succeed; the guard only binds when the miss failed.
+    if (!poisoned.ok()) {
+      ResourceBudget b2;
+      b2.WithMaxRows(opt_.max_rows_per_exec);
+      auto clean = session.Run(query_, ExecOptions{}.WithBudget(&b2));
+      if (!clean.ok()) {
+        if (!Skipped(clean.status())) {
+          Fail(OracleKind::kChaos,
+               "clean run after a failed cache miss failed: " +
+                   clean.status().ToString());
+        }
+        return;
+      }
+      ++outcome_.plans_checked;
+      if (!Relation::BagEquals(baseline_, clean->relation)) {
+        Fail(OracleKind::kChaos,
+             "clean run after a failed cache miss diverges from the "
+             "baseline (poisoned plan-cache template)");
+        return;
+      }
+    }
+  }
+}
+
 StatusOr<OracleOutcome> OracleRunner::Run() {
   auto baseline = Exec(query_);
   if (!baseline.ok()) {
@@ -417,6 +583,7 @@ StatusOr<OracleOutcome> OracleRunner::Run() {
   if (opt_.run_tlp && !outcome_.failed) RunTlp();
   if (opt_.run_round_trip && !outcome_.failed) RunRoundTrip();
   if (opt_.run_plan_cache && !outcome_.failed) RunPlanCache();
+  if (opt_.run_chaos && !outcome_.failed) RunChaos();
   return outcome_;
 }
 
@@ -430,6 +597,7 @@ std::string OracleKindName(OracleKind k) {
     case OracleKind::kTlp: return "tlp";
     case OracleKind::kRoundTrip: return "round-trip";
     case OracleKind::kPlanCache: return "plan-cache";
+    case OracleKind::kChaos: return "chaos";
   }
   return "?";
 }
@@ -439,9 +607,15 @@ std::string OracleOutcome::ToString() const {
   if (failed) {
     return "FAIL [" + OracleKindName(failure.kind) + "] " + failure.detail;
   }
-  return "ok (" + std::to_string(oracles_run) + " oracles, " +
-         std::to_string(plans_checked) + " plans checked, " +
-         std::to_string(plans_skipped) + " skipped)";
+  std::string s = "ok (" + std::to_string(oracles_run) + " oracles, " +
+                  std::to_string(plans_checked) + " plans checked, " +
+                  std::to_string(plans_skipped) + " skipped";
+  if (chaos_trials > 0) {
+    s += "; chaos: " + std::to_string(chaos_trials) + " trials, " +
+         std::to_string(chaos_faults) + " faults, " +
+         std::to_string(chaos_spills) + " spilled";
+  }
+  return s + ")";
 }
 
 StatusOr<OracleOutcome> CheckQuery(const NodePtr& query,

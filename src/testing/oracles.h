@@ -49,6 +49,7 @@ enum class OracleKind {
   kTlp,
   kRoundTrip,
   kPlanCache,
+  kChaos,
 };
 
 std::string OracleKindName(OracleKind k);
@@ -60,6 +61,21 @@ struct OracleOptions {
   bool run_tlp = true;
   bool run_round_trip = true;
   bool run_plan_cache = true;
+  // Chaos oracle (opt-in; see --chaos in tools/gsopt_fuzz): re-executes
+  // the query under a starvation-level memory cap (forcing the spill
+  // path), then under deterministic fault injection at every site, and
+  // asserts the robustness contract -- every trial yields either a
+  // bag-correct result or a clean typed Status (kResourceExhausted /
+  // kUnavailable), never a crash, leaked temp file, leaked memory charge,
+  // or a poisoned plan-cache template.
+  bool run_chaos = false;
+
+  // Chaos knobs: operator-state memory cap for the spill trials; fault
+  // period (one probe in `period` fires); number of distinct-seed faulted
+  // trials per query.
+  uint64_t chaos_memory_bytes = 16 * 1024;
+  uint64_t chaos_fault_period = 3;
+  int chaos_trials = 4;
 
   // Plan-space cap per query (enumeration truncates, never fails).
   size_t max_plans = 64;
@@ -93,6 +109,11 @@ struct OracleOutcome {
   size_t plans_checked = 0;
   size_t plans_skipped = 0;
   size_t oracles_run = 0;
+  // Chaos-oracle accounting: trials executed, faults actually fired, and
+  // trials that degraded to the out-of-core path.
+  size_t chaos_trials = 0;
+  size_t chaos_faults = 0;
+  size_t chaos_spills = 0;
 
   std::string ToString() const;
 };

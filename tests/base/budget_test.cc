@@ -68,7 +68,9 @@ TEST(ResourceBudgetTest, RowCapCharges) {
   EXPECT_TRUE(b.ChargeRows(4, "join").ok());  // exactly at the cap
   Status s = b.ChargeRows(1, "join");
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(s.message().find("row budget"), std::string::npos);
+  // The message names the tripped cap and both sides of the comparison.
+  EXPECT_NE(s.message().find("row cap exceeded"), std::string::npos);
+  EXPECT_NE(s.message().find("11 > 10"), std::string::npos);
   EXPECT_EQ(b.rows_charged(), 11u);
   b.ResetRows();
   EXPECT_TRUE(b.ChargeRows(10, "join").ok());

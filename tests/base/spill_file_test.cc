@@ -1,0 +1,145 @@
+// SpillFile: the RAII temp-file primitive under the out-of-core path.
+// Round-trips bytes through the write buffer, enforces the
+// unlink-on-destruction contract (LiveCount is the process-wide leak
+// oracle), reports truncated reads as kInternal, and surfaces injected
+// spill-I/O faults with the right status taxonomy.
+#include "base/spill_file.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/fault_injector.h"
+
+namespace gsopt {
+namespace {
+
+bool PathExists(const std::string& p) {
+  struct stat st;
+  return ::stat(p.c_str(), &st) == 0;
+}
+
+TEST(SpillFileTest, RoundTripsBytesAcrossBufferBoundary) {
+  auto f = SpillFile::Create("", nullptr);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  // Three appends totalling > kBufferBytes so at least one internal flush
+  // happens mid-write.
+  std::string a(SpillFile::kBufferBytes - 7, 'a');
+  std::string b(SpillFile::kBufferBytes, 'b');
+  std::string c = "tail";
+  ASSERT_TRUE(f->Append(a.data(), a.size()).ok());
+  ASSERT_TRUE(f->Append(b.data(), b.size()).ok());
+  ASSERT_TRUE(f->Append(c.data(), c.size()).ok());
+  EXPECT_EQ(f->bytes_written(), a.size() + b.size() + c.size());
+
+  ASSERT_TRUE(f->Rewind().ok());
+  std::string back(a.size() + b.size() + c.size(), '\0');
+  ASSERT_TRUE(f->ReadExact(back.data(), back.size()).ok());
+  EXPECT_EQ(back, a + b + c);
+  EXPECT_EQ(f->bytes_read(), back.size());
+}
+
+TEST(SpillFileTest, TruncatedReadIsInternalNotCrash) {
+  auto f = SpillFile::Create("", nullptr);
+  ASSERT_TRUE(f.ok());
+  const char payload[] = "short";
+  ASSERT_TRUE(f->Append(payload, sizeof payload).ok());
+  ASSERT_TRUE(f->Rewind().ok());
+  char buf[64];
+  Status s = f->ReadExact(buf, sizeof buf);  // asks for more than written
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(SpillFileTest, DestructorUnlinksAndLiveCountReturnsToZero) {
+  int64_t before = SpillFile::LiveCount();
+  std::string path;
+  {
+    auto f = SpillFile::Create("", nullptr);
+    ASSERT_TRUE(f.ok());
+    path = f->path();
+    ASSERT_TRUE(f->Append("x", 1).ok());
+    ASSERT_TRUE(f->Flush().ok());
+    EXPECT_EQ(SpillFile::LiveCount(), before + 1);
+    EXPECT_TRUE(PathExists(path));
+  }
+  EXPECT_EQ(SpillFile::LiveCount(), before);
+  EXPECT_FALSE(PathExists(path));
+}
+
+TEST(SpillFileTest, DiscardIsIdempotentAndMoveTransfersOwnership) {
+  int64_t before = SpillFile::LiveCount();
+  auto f = SpillFile::Create("", nullptr);
+  ASSERT_TRUE(f.ok());
+  std::string path = f->path();
+  SpillFile moved = std::move(*f);
+  EXPECT_EQ(SpillFile::LiveCount(), before + 1);  // one file, not two
+  moved.Discard();
+  EXPECT_FALSE(PathExists(path));
+  EXPECT_EQ(SpillFile::LiveCount(), before);
+  moved.Discard();  // idempotent
+  EXPECT_EQ(SpillFile::LiveCount(), before);
+}
+
+TEST(SpillFileTest, CreateInMissingDirectoryFailsCleanly) {
+  auto f = SpillFile::Create("/nonexistent-gsopt-spill-dir", nullptr);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(SpillFile::LiveCount(), 0);
+}
+
+TEST(SpillFileTest, InjectedOpenFaultIsResourceExhausted) {
+  FaultInjector::Options o;
+  o.seed = 42;
+  o.period = 1;
+  o.site_mask = FaultInjector::MaskOf({FaultSite::kSpillOpen});
+  FaultInjector fi(o);
+  auto f = SpillFile::Create("", &fi);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(f.status().message().find("injected"), std::string::npos);
+  EXPECT_EQ(SpillFile::LiveCount(), 0);  // the failed create leaked nothing
+}
+
+TEST(SpillFileTest, InjectedWriteFaultSurfacesOnAppendOrFlush) {
+  FaultInjector::Options o;
+  o.seed = 7;
+  o.period = 1;
+  o.max_faults = 1;  // create succeeds, first write probe fires
+  o.site_mask = FaultInjector::MaskOf({FaultSite::kSpillWrite});
+  FaultInjector fi(o);
+  auto f = SpillFile::Create("", &fi);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  std::string big(SpillFile::kBufferBytes * 2, 'z');
+  Status s = f->Append(big.data(), big.size());
+  if (s.ok()) s = f->Flush();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.code() == StatusCode::kResourceExhausted ||
+              s.code() == StatusCode::kUnavailable)
+      << s.ToString();
+}
+
+TEST(SpillFileTest, InjectedReadFaultIsTransient) {
+  FaultInjector::Options o;
+  o.seed = 9;
+  o.period = 1;
+  o.site_mask = FaultInjector::MaskOf({FaultSite::kSpillRead});
+  FaultInjector fi(o);
+  auto f = SpillFile::Create("", &fi);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->Append("abc", 3).ok());
+  ASSERT_TRUE(f->Rewind().ok());
+  char buf[3];
+  Status s = f->ReadExact(buf, sizeof buf);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(s.IsTransient());
+}
+
+}  // namespace
+}  // namespace gsopt

@@ -8,13 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "algebra/execute.h"
+#include "base/fault_injector.h"
 #include "base/rng.h"
 #include "core/plan_cache.h"
+#include "exec/executor.h"
 #include "relational/datagen.h"
 #include "sql/binder.h"
 
@@ -307,6 +310,109 @@ TEST(SessionTest, TextMemoServesRepeatedSqlAndTracksCatalogVersion) {
   auto after = session.Query(sql);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->relation.NumRows(), first->relation.NumRows() + 1);
+}
+
+TEST(SessionTest, MissPathExecutionFailureNeverPoisonsTheCache) {
+  // Regression: a miss used to install the optimized template BEFORE the
+  // first execution ran. A query whose first execution fails (here: an
+  // injected budget-check fault) must leave the cache empty -- the next
+  // call re-optimizes and, once execution succeeds, only then publishes.
+  Catalog cat = MakeCatalog(81, 3);
+  FaultInjector::Options o;
+  o.seed = 1;
+  o.period = 1;
+  o.max_faults = 1;  // exactly the first probe fires
+  o.site_mask = FaultInjector::MaskOf({FaultSite::kBudgetCheck});
+  FaultInjector fi(o);
+  Session session(cat, SessionOptions{}.WithFault(&fi).WithRetries(0));
+  NodePtr q = PivotQuery(2);
+
+  auto failed = session.Run(q);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(session.cache_stats().entries, 0u)
+      << "failed miss installed a template";
+
+  // Fault exhausted: the rerun is a fresh miss that succeeds and installs.
+  auto ok = session.Run(q);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FALSE(ok->cache_hit);
+  EXPECT_EQ(session.cache_stats().entries, 1u);
+  auto hit = session.Run(q);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  // The poisoning guard must not have changed the answer.
+  auto expect = Execute(q, cat);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_TRUE(Relation::BagEquals(*expect, hit->relation));
+}
+
+TEST(SessionTest, TransientFaultIsRetriedPersistentIsNot) {
+  Catalog cat = MakeCatalog(82, 3, /*rows=*/40);
+  static exec::Executor executor(4);
+  executor.set_min_parallel_rows(1);
+  NodePtr q = PivotQuery(3);
+
+  {  // Transient (kUnavailable dispatch fault): one bounded retry wins.
+    FaultInjector::Options o;
+    o.seed = 2;
+    o.period = 1;
+    o.max_faults = 1;
+    o.site_mask = FaultInjector::MaskOf({FaultSite::kDispatch});
+    FaultInjector fi(o);
+    Session session(cat, SessionOptions{}
+                             .WithExecutor(&executor)
+                             .WithFault(&fi)
+                             .WithRetries(2)
+                             .WithRetryBackoff(std::chrono::microseconds(1)));
+    auto served = session.Run(q);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_EQ(served->transient_retries, 1);
+    EXPECT_EQ(fi.fired_total(), 1u);
+    auto expect = Execute(q, cat);
+    ASSERT_TRUE(expect.ok());
+    EXPECT_TRUE(Relation::BagEquals(*expect, served->relation));
+  }
+
+  {  // Persistent (kResourceExhausted): never retried, one fault consumed.
+    FaultInjector::Options o;
+    o.seed = 3;
+    o.period = 1;
+    o.site_mask = FaultInjector::MaskOf({FaultSite::kBudgetCheck});
+    FaultInjector fi(o);
+    Session session(cat, SessionOptions{}
+                             .WithFault(&fi)
+                             .WithRetries(3)
+                             .WithRetryBackoff(std::chrono::microseconds(1)));
+    auto served = session.Run(q);
+    ASSERT_FALSE(served.ok());
+    EXPECT_EQ(served.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(fi.fired_total(), 1u) << "persistent failure was retried";
+  }
+}
+
+TEST(SessionTest, CachedPlanSpillsUnderMemoryPressure) {
+  Catalog cat = MakeCatalog(83, 3, /*rows=*/60);
+  NodePtr q = PivotQuery(4);
+  // Reference: unconstrained session.
+  Session plain(cat);
+  auto expect = plain.Run(q);
+  ASSERT_TRUE(expect.ok());
+
+  ResourceBudget budget;
+  budget.WithMaxMemory(2 * 1024);
+  exec::SpillConfig spill;
+  spill.enabled = true;
+  Session session(cat, SessionOptions{}.WithBudget(&budget).WithSpill(&spill));
+  auto warm = session.Run(q);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(Relation::BagEquals(expect->relation, warm->relation));
+  // The cached template's re-execution degrades out-of-core identically.
+  auto hit = session.Run(q);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_TRUE(Relation::BagEquals(expect->relation, hit->relation));
+  EXPECT_EQ(budget.memory_charged(), 0u);
 }
 
 TEST(SessionTest, BudgetGovernsCachedExecutionToo) {

@@ -13,6 +13,10 @@
 //   gsopt_fuzz --seeds=30 --inject-fault        # harness self-test: every
 //                                               # checked result is mutated,
 //                                               # so every oracle must fire
+//   gsopt_fuzz --seeds=500 --chaos              # chaos mode: re-run every
+//                                               # case memory-starved (spill
+//                                               # path) and under seeded
+//                                               # fault injection
 //
 // Exit codes: 0 clean; 1 oracle failures or coverage gate missed; 2 bad
 // usage; 3 harness error.
@@ -47,6 +51,10 @@ int Usage() {
       "  --max-plans=N         plan-space cap per case (default 64)\n"
       "  --view-prob=P         GROUP BY view probability (default 0.5)\n"
       "  --inject-fault        mutate every checked result (self-test)\n"
+      "  --chaos               run the chaos oracle (spill + fault injection)\n"
+      "  --chaos-period=N      fire one injected fault per N probes (default 3)\n"
+      "  --chaos-memory=BYTES  operator-state cap for spill trials (default 16384)\n"
+      "  --chaos-trials=N      faulted trials per case (default 4)\n"
       "  --no-enforce-coverage skip the view/agg-pred coverage gates\n"
       "  --quiet               suppress per-failure logging\n";
   return 2;
@@ -84,6 +92,14 @@ int main(int argc, char** argv) {
       opt.oracle.max_plans = static_cast<size_t>(std::atoi(v.c_str()));
     } else if (ParseFlag(argv[i], "view-prob", &v)) {
       opt.query.view_prob = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "chaos-period", &v)) {
+      opt.oracle.chaos_fault_period = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "chaos-memory", &v)) {
+      opt.oracle.chaos_memory_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "chaos-trials", &v)) {
+      opt.oracle.chaos_trials = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      opt.oracle.run_chaos = true;
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
       inject_fault = true;
     } else if (std::strcmp(argv[i], "--no-enforce-coverage") == 0) {
