@@ -1,0 +1,128 @@
+// Columnar-vs-tuple kernel pairs (EXPERIMENTS.md "Columnar batch
+// execution"): the same operator on the same input, once with
+// BatchMode::kOff (the tuple-at-a-time reference kernels) and once with
+// BatchMode::kForce (the batch paths in exec/columnar.cc). The input
+// shapes mirror bench_gs_cost's Inputs -- domain rows/4+1, so joins have
+// ~4 matches per key -- and the 16384-row rows are the issue's headline
+// comparison. Aggregation groups on the join column with a SUM and a
+// COUNT(*) per group.
+#include <benchmark/benchmark.h>
+
+#include "report.h"
+
+#include "base/rng.h"
+#include "exec/aggregate.h"
+#include "exec/eval.h"
+#include "relational/datagen.h"
+
+namespace gsopt {
+namespace {
+
+struct Inputs {
+  Relation a, b;
+  Predicate eq;
+  Predicate sel;
+
+  explicit Inputs(int64_t rows) {
+    Rng rng(99);
+    RandomRelationOptions opt;
+    opt.num_rows = rows;
+    opt.domain = rows / 4 + 1;
+    a = MakeRandomRelation("a", {"x", "y"}, opt, &rng);
+    b = MakeRandomRelation("b", {"x", "y"}, opt, &rng);
+    eq = Predicate(MakeAtom("a", "x", CmpOp::kEq, "b", "x"));
+    sel = Predicate(MakeAtom("a", "y", CmpOp::kLe, "a", "x"));
+  }
+};
+
+exec::ExecContext Ctx(exec::BatchMode mode) {
+  exec::ExecContext ctx;
+  ctx.batch = mode;
+  return ctx;
+}
+
+exec::GroupBySpec AggSpecOnX() {
+  exec::GroupBySpec spec;
+  spec.group_cols = {Attribute{"a", "x"}};
+  exec::AggSpec n;
+  n.func = exec::AggFunc::kCountStar;
+  n.out_rel = "g";
+  n.out_name = "n";
+  exec::AggSpec s;
+  s.func = exec::AggFunc::kSum;
+  s.input = Scalar::Column("a", "y");
+  s.out_rel = "g";
+  s.out_name = "s";
+  spec.aggs = {n, s};
+  return spec;
+}
+
+void BM_SelectTuple(benchmark::State& state) {
+  Inputs in(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::Select(in.a, in.sel, Ctx(exec::BatchMode::kOff)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SelectColumnar(benchmark::State& state) {
+  Inputs in(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::Select(in.a, in.sel, Ctx(exec::BatchMode::kForce)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_InnerJoinTuple(benchmark::State& state) {
+  Inputs in(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::InnerJoin(in.a, in.b, in.eq, Ctx(exec::BatchMode::kOff)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_InnerJoinColumnar(benchmark::State& state) {
+  Inputs in(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::InnerJoin(in.a, in.b, in.eq, Ctx(exec::BatchMode::kForce)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HashAggregateTuple(benchmark::State& state) {
+  Inputs in(state.range(0));
+  exec::GroupBySpec spec = AggSpecOnX();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::GeneralizedProjection(in.a, spec, Ctx(exec::BatchMode::kOff)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HashAggregateColumnar(benchmark::State& state) {
+  Inputs in(state.range(0));
+  exec::GroupBySpec spec = AggSpecOnX();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::GeneralizedProjection(in.a, spec,
+                                    Ctx(exec::BatchMode::kForce)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+#define SIZES Arg(1024)->Arg(4096)->Arg(16384)->Unit(benchmark::kMicrosecond)
+BENCHMARK(BM_SelectTuple)->SIZES;
+BENCHMARK(BM_SelectColumnar)->SIZES;
+BENCHMARK(BM_InnerJoinTuple)->SIZES;
+BENCHMARK(BM_InnerJoinColumnar)->SIZES;
+BENCHMARK(BM_HashAggregateTuple)->SIZES;
+BENCHMARK(BM_HashAggregateColumnar)->SIZES;
+
+}  // namespace
+}  // namespace gsopt
+
+GSOPT_BENCH_MAIN(bench_columnar);

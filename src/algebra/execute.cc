@@ -98,7 +98,7 @@ StatusOr<Relation> ExecuteNode(const NodePtr& node, const Catalog& catalog,
     GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("execute"));
   }
   exec::ExecContext ctx{options.budget, stats, options.executor,
-                        options.fault, options.spill};
+                        options.fault, options.spill, options.batch};
   Clock::time_point start;
   if (stats != nullptr) {
     stats->op = StatsLabel(*node);

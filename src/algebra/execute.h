@@ -45,6 +45,12 @@ struct ExecuteOptions {
   // joins and aggregations that trip the memory cap degrade to the
   // out-of-core partitioned path instead of failing; see exec/eval.h.
   const exec::SpillConfig* spill = nullptr;
+  // Columnar batch-execution policy (exec/eval.h BatchMode). kAuto -- the
+  // default -- vectorizes large inputs; kOff pins the tuple-at-a-time
+  // reference kernels; kForce vectorizes regardless of size. Results are
+  // bag-equal across modes (the columnar-vs-tuple oracle enforces this);
+  // only row order may differ.
+  exec::BatchMode batch = exec::BatchMode::kAuto;
 
   // Fluent builder, matching OptimizeOptions / SessionOptions idiom.
   ExecuteOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
@@ -53,6 +59,10 @@ struct ExecuteOptions {
   ExecuteOptions& WithFault(FaultInjector* f) { fault = f; return *this; }
   ExecuteOptions& WithSpill(const exec::SpillConfig* s) {
     spill = s;
+    return *this;
+  }
+  ExecuteOptions& WithBatchMode(exec::BatchMode m) {
+    batch = m;
     return *this;
   }
 };

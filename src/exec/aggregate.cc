@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "base/check.h"
+#include "exec/columnar.h"
 #include "exec/keys.h"
 #include "exec/lane_control.h"
 #include "exec/spill.h"
+#include "relational/column_batch.h"
 
 namespace gsopt::exec {
 
@@ -273,6 +275,107 @@ Status EmitGroups(const ResolvedGP& rs, const GroupMap& gm,
   return Status::OK();
 }
 
+// True when every aggregate input is either absent (COUNT(*), PRESENT,
+// COUNT_PRESENT read no value column) or a plain resolvable column, the
+// shape the batched feed gathers natively; fills agg_col with the schema
+// column index per aggregate (-1 for the no-input functions). DISTINCT
+// aggregates are excluded by the caller: their dedup sets want the
+// row-at-a-time reference path.
+bool ColumnarAggEligible(const GroupBySpec& spec, const Schema& s,
+                         std::vector<int>* agg_col) {
+  agg_col->assign(spec.aggs.size(), -1);
+  for (size_t k = 0; k < spec.aggs.size(); ++k) {
+    const AggSpec& a = spec.aggs[k];
+    if (a.func == AggFunc::kCountStar || a.func == AggFunc::kGroupFlag ||
+        a.func == AggFunc::kCountPresence) {
+      continue;
+    }
+    if (a.input == nullptr || a.input->kind() != Scalar::Kind::kColumn) {
+      return false;
+    }
+    int c = s.Find(a.input->rel(), a.input->name());
+    if (c < 0) return false;
+    (*agg_col)[k] = c;
+  }
+  return true;
+}
+
+// Batch-at-a-time twin of FeedRows: gathers the group-key columns, the
+// grouping vids and the aggregate input columns once per batch, encodes
+// binary group keys (same equality partition as EncodeTupleKeyInto) and
+// feeds the shared Accumulators. Group discovery order is row order, like
+// the reference path, so representatives and synthetic ordinals agree.
+Status ColumnarFeedRows(const Relation& r, const ResolvedGP& rs,
+                        const std::vector<int>& agg_col,
+                        const ExecContext& ctx, exec::OpMemory* mem,
+                        GroupMap* gm, bool* mem_trip) {
+  const GroupBySpec& spec = *rs.spec;
+  // Dedup the aggregate input columns into gather slots.
+  std::vector<int> in_cols;
+  std::vector<int> agg_slot(spec.aggs.size(), -1);
+  for (size_t k = 0; k < agg_col.size(); ++k) {
+    if (agg_col[k] < 0) continue;
+    int slot = -1;
+    for (size_t j = 0; j < in_cols.size(); ++j) {
+      if (in_cols[j] == agg_col[k]) {
+        slot = static_cast<int>(j);
+        break;
+      }
+    }
+    if (slot < 0) {
+      in_cols.push_back(agg_col[k]);
+      slot = static_cast<int>(in_cols.size() - 1);
+    }
+    agg_slot[k] = slot;
+  }
+
+  std::vector<Column> gcols, acols;
+  std::vector<std::vector<RowId>> gvids;
+  std::string key;
+  for (int64_t begin = 0; begin < r.NumRows(); begin += kBatchRows) {
+    int64_t end = std::min<int64_t>(begin + kBatchRows, r.NumRows());
+    GSOPT_RETURN_IF_ERROR(ctx.Tick("group-by"));
+    GatherColumnsInto(r, rs.gcol_idx, begin, end, &gcols);
+    GatherVidsInto(r, rs.gvid_idx, begin, end, &gvids);
+    GatherColumnsInto(r, in_cols, begin, end, &acols);
+    if (ctx.stats != nullptr) ++ctx.stats->batches;
+    for (int64_t i = 0; i < end - begin; ++i) {
+      key.clear();
+      internal::AppendBatchGroupKey(gcols, gvids, i, &key);
+      auto it = gm->groups.find(key);
+      if (it == gm->groups.end()) {
+        const Tuple& t = r.row(begin + i);
+        Status cs =
+            mem->Charge(key.size() + internal::ApproxTupleBytes(t) +
+                            spec.aggs.size() * sizeof(Accumulator) + 96,
+                        "group-by");
+        if (!cs.ok()) {
+          if (mem_trip != nullptr) *mem_trip = true;
+          return cs;
+        }
+        Group g;
+        g.representative = t;
+        g.accs.resize(spec.aggs.size());
+        it = gm->groups.emplace(key, std::move(g)).first;
+        gm->order.push_back(key);
+      }
+      Group& g = it->second;
+      for (size_t k = 0; k < spec.aggs.size(); ++k) {
+        const AggSpec& a = spec.aggs[k];
+        if (a.func == AggFunc::kCountStar || a.func == AggFunc::kGroupFlag) {
+          g.accs[k].Feed(Value::Int(1), a);
+        } else if (a.func == AggFunc::kCountPresence) {
+          RowId id = r.row(begin + i).vids[rs.presence_idx[k]];
+          g.accs[k].Feed(id == kNullRowId ? Value::Null() : Value::Int(1), a);
+        } else {
+          g.accs[k].Feed(ColumnValueAt(acols[agg_slot[k]], i), a);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 // Out-of-core aggregation: partition input rows by group-key hash into
 // SpillFile runs (each group lands wholly in one partition, so partition
 // group maps are disjoint), aggregate each partition in memory, recurse on
@@ -501,10 +604,22 @@ StatusOr<Relation> GeneralizedProjection(const Relation& r,
       GSOPT_RETURN_IF_ERROR(EmitGroups(rs, gm, ctx, &ordinal, &out));
     }
   } else {
+    // Serial path: columnar batch feed when the shape is vectorizable and
+    // the input is large enough (or batching is forced); row-at-a-time
+    // reference feed otherwise. Both discover groups in row order, so
+    // representatives, emit order and synthetic ordinals agree; only the
+    // internal key encoding differs. A memory trip degrades to the same
+    // out-of-core path either way (spill_all re-aggregates from scratch).
+    std::vector<int> agg_col;
+    bool columnar = !rs.has_distinct && ctx.Columnar(r.NumRows()) &&
+                    ColumnarAggEligible(spec, r.schema(), &agg_col);
+    if (columnar && ctx.stats != nullptr) ctx.stats->columnar = true;
     GroupMap gm;
     OpMemory mem(ctx);
     bool trip = false;
-    Status s = FeedRows(r, rs, ctx, &mem, &gm, &trip);
+    Status s = columnar
+                   ? ColumnarFeedRows(r, rs, agg_col, ctx, &mem, &gm, &trip)
+                   : FeedRows(r, rs, ctx, &mem, &gm, &trip);
     if (s.ok()) {
       GSOPT_RETURN_IF_ERROR(EmitGroups(rs, gm, ctx, &ordinal, &out));
     } else if (trip && ctx.SpillEnabled()) {

@@ -1,0 +1,122 @@
+// Columnar (batch-at-a-time) twins of the hot serial kernels.
+//
+// The tuple-at-a-time reference kernels in eval.cc resolve every column BY
+// NAME per row (Scalar::Eval does a linear qualified-name scan of the
+// schema for each column reference) and build join keys with one
+// std::to_string-heavy std::string per row. These paths instead compile
+// the predicate / key list ONCE against the schema, gather the referenced
+// columns of each kBatchRows-row batch into typed arrays
+// (relational/column_batch.h), and run tight per-kind filter loops that
+// refine a selection vector -- the layout the issue calls SIMD-friendly:
+// contiguous same-typed operands, data-dependent branches confined to the
+// selection-vector append.
+//
+// Semantics contract: every kernel here is bag-equal to its reference twin
+// under identical ExecContext policy (same NULL handling, same 3VL
+// residuals, same globally-indexed matched bitmaps, same memory-cap spill
+// degradation). ColumnarSelect additionally preserves the reference row
+// ORDER exactly (it filters in input order); the columnar join emits
+// duplicate build matches in newest-first chain order, so its output is
+// bag-equal but may be permuted, like the parallel path. The
+// columnar-vs-tuple oracle (testing/oracles.h) holds the pair to the
+// bag-equality contract on every fuzzed query.
+//
+// Atoms a batch loop cannot evaluate natively (arithmetic terms,
+// unresolved columns) compile to a per-row fallback on the source tuples,
+// so every predicate is columnar-eligible -- the fallback only runs for
+// rows still selected when its turn comes.
+#ifndef GSOPT_EXEC_COLUMNAR_H_
+#define GSOPT_EXEC_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/eval.h"
+#include "exec/join_internal.h"
+#include "relational/column_batch.h"
+#include "relational/expr.h"
+
+namespace gsopt::exec::internal {
+
+// A predicate compiled once against a schema. Atom operands referencing
+// columns become slots into a gathered column array; constants are
+// captured by value. Compilation never fails: unsupported shapes become
+// kFallback atoms.
+struct CompiledFilter {
+  struct CAtom {
+    enum class Kind : uint8_t {
+      kCmpColCol,    // column <op> column
+      kCmpColConst,  // column <op> constant (constant always on the rhs)
+      kIsNull,       // column IS NULL
+      kIsNotNull,    // column IS NOT NULL
+      kNever,        // statically never TRUE (e.g. const cmp NULL)
+      kFallback,     // Atom::Eval per selected row
+    };
+    Kind kind = Kind::kFallback;
+    CmpOp op = CmpOp::kEq;
+    int lhs_slot = -1;           // slot into the gathered columns
+    int rhs_slot = -1;           // kCmpColCol only
+    Value constant;              // kCmpColConst only
+    const Atom* atom = nullptr;  // kFallback: borrowed from the Predicate
+  };
+  std::vector<CAtom> atoms;   // statically-TRUE atoms are dropped
+  std::vector<int> cols;      // schema column index per slot
+  bool has_fallback = false;
+};
+
+// Compiles `p` against `s`. The returned filter borrows `p`'s atoms;
+// `p` must outlive it.
+CompiledFilter CompileFilter(const Predicate& p, const Schema& s);
+
+// Applies `f` to rows [begin, begin+n) of `r`, whose gathered filter
+// columns are `cols` (one per f.cols slot, gathered over the same range).
+// Fills `sel` with the batch-relative offsets of rows where every atom is
+// TRUE, in ascending order.
+void ApplyFilter(const CompiledFilter& f, const Relation& r, int64_t begin,
+                 int64_t n, const std::vector<Column>& cols,
+                 std::vector<int32_t>* sel);
+
+// Canonical binary join-key encoding over gathered key columns: appends
+// batch row i's key bytes for every column of `key_cols` onto `out`.
+// Returns false -- with `out` in an unspecified partial state the caller
+// must clear -- when any key value is NULL (NULL never equi-matches under
+// 3VL). The encoding induces the SAME equality partition as the row path's
+// AppendValueKey (ints and integral doubles within +/-2^53 share a class,
+// -0.0 == +0.0, one class for every NaN payload), in fixed-width binary:
+// 'i' + 8B native-endian int64, 'N' (NaN), 'd' + 8B raw double bits,
+// 's' + u32 length + bytes. Keys never leave one operator, so only the
+// partition must match the row path, not the bytes.
+bool AppendBatchKey(const std::vector<Column>& key_cols, int64_t i,
+                    std::string* out);
+
+// Group-key variant for aggregation: NULLs are a real group (tag 'n'
+// instead of failure), and the selected vid columns are appended after a
+// '#' separator, matching EncodeTupleKeyInto's partition.
+void AppendBatchGroupKey(const std::vector<Column>& key_cols,
+                         const std::vector<std::vector<RowId>>& vids,
+                         int64_t i, std::string* out);
+
+// Batch-at-a-time selection; same output (order included) as the serial
+// Select loop. Caller has already decided via ExecContext::Columnar().
+StatusOr<Relation> ColumnarSelect(const Relation& r, const Predicate& p,
+                                  const ExecContext& ctx);
+
+// True when the hash plan's keys are all plain column references, the
+// shape the batched build/probe encodes natively. (Arithmetic key terms
+// stay on the reference path.)
+bool ColumnarJoinEligible(const HashPlan& plan, const Schema& sa,
+                          const Schema& sb);
+
+// Batch-at-a-time hash join core: arena + open-addressing JoinHashTable
+// build over b, batched probe with a, per-pair 3VL residual, globally-
+// indexed matched bitmaps, and the same spill degradation as the serial
+// path on a memory-cap trip. Requires ColumnarJoinEligible(plan, ...).
+StatusOr<JoinCoreResult> ColumnarJoinCore(const Relation& a,
+                                          const Relation& b,
+                                          const HashPlan& plan,
+                                          const ExecContext& ctx);
+
+}  // namespace gsopt::exec::internal
+
+#endif  // GSOPT_EXEC_COLUMNAR_H_

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "base/check.h"
+#include "exec/columnar.h"
 #include "exec/join_internal.h"
 #include "exec/keys.h"
 #include "exec/spill.h"
@@ -29,6 +30,10 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
   HashPlan plan = MakeHashPlan(p, a.schema(), b.schema());
   if (ctx.Parallel(std::max(a.NumRows(), b.NumRows()))) {
     return internal::ParallelJoinCore(a, b, plan, p, ctx);
+  }
+  if (ctx.Columnar(std::max(a.NumRows(), b.NumRows())) &&
+      internal::ColumnarJoinEligible(plan, a.schema(), b.schema())) {
+    return internal::ColumnarJoinCore(a, b, plan, ctx);
   }
 
   JoinCoreResult res;
@@ -187,6 +192,9 @@ StatusOr<Relation> Select(const Relation& r, const Predicate& p,
                           const ExecContext& ctx) {
   if (ctx.Parallel(r.NumRows())) {
     return internal::ParallelSelect(r, p, ctx);
+  }
+  if (ctx.Columnar(r.NumRows())) {
+    return internal::ColumnarSelect(r, p, ctx);
   }
   Relation out(r.schema(), r.vschema());
   RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
@@ -436,7 +444,7 @@ StatusOr<Relation> GeneralizedSelection(
   // stats node: GS accounts for its own input/output exactly once and
   // counts the pass's predicate evaluations itself.
   ExecContext select_ctx{ctx.budget, nullptr, ctx.executor, ctx.fault,
-                         ctx.spill};
+                         ctx.spill,  ctx.batch};
   GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, select_ctx));
   RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
   if (ctx.stats != nullptr) {

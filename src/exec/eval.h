@@ -53,6 +53,19 @@ struct SpillConfig {
   int max_recursion = 3;
 };
 
+// Batch-execution policy for the columnar kernel paths (exec/columnar.h).
+// kAuto takes the columnar path for vectorizable shapes once the input is
+// large enough to amortize the gather; kOff pins the tuple-at-a-time
+// reference kernels (the differential-testing baseline); kForce takes the
+// columnar path whenever the shape allows regardless of size (so tests can
+// exercise it on tiny inputs).
+enum class BatchMode : uint8_t { kAuto = 0, kOff = 1, kForce = 2 };
+
+// kAuto threshold: below this many input rows the per-batch setup (filter
+// compilation, column gathers) costs more than it saves, and small unit
+// tests keep the reference kernels' row order.
+inline constexpr int64_t kMinColumnarRows = 128;
+
 // Per-invocation execution context threaded into every kernel. Default
 // constructed it is a no-op (unlimited budget, no stats), so direct kernel
 // calls in tests and benches stay terse.
@@ -74,6 +87,8 @@ struct ExecContext {
   FaultInjector* fault = nullptr;
   // Out-of-core policy; null or !enabled means memory trips are fatal.
   const SpillConfig* spill = nullptr;
+  // Columnar batch-execution policy (see BatchMode above).
+  BatchMode batch = BatchMode::kAuto;
 
   Status ChargeRows(uint64_t n, const char* stage) const {
     if (budget == nullptr) return Status::OK();
@@ -102,6 +117,13 @@ struct ExecContext {
   bool Parallel(int64_t rows) const {
     return executor != nullptr && executor->lanes() > 1 &&
            rows >= executor->min_parallel_rows();
+  }
+  // True when `rows` input rows should take a columnar kernel path (the
+  // kernel still verifies the operator shape is vectorizable).
+  bool Columnar(int64_t rows) const {
+    if (batch == BatchMode::kOff) return false;
+    if (batch == BatchMode::kForce) return true;
+    return rows >= kMinColumnarRows;
   }
 };
 

@@ -20,8 +20,10 @@
 #ifndef GSOPT_EXEC_HASH_TABLE_H_
 #define GSOPT_EXEC_HASH_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -81,6 +83,11 @@ class JoinHashTable {
   // `arenas` must outlive the table and stay frozen.
   void Build(std::vector<Entry> entries,
              const std::vector<KeyArena>& arenas) {
+    // Slot wiring indexes entries with int32_t (`next`, slots_); a
+    // partition past INT32_MAX entries would wrap. The memory governor
+    // trips far earlier in practice, so this is a structural invariant.
+    assert(entries.size() <=
+           static_cast<size_t>(std::numeric_limits<int32_t>::max()));
     entries_ = std::move(entries);
     distinct_keys_ = 0;
     max_chain_ = 0;

@@ -5,6 +5,7 @@
 #ifndef GSOPT_EXEC_KEYS_H_
 #define GSOPT_EXEC_KEYS_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -30,15 +31,22 @@ inline void AppendValueKey(const Value& v, std::string* out) {
     case ValueType::kDouble: {
       // Doubles that are exactly an int64 within the 2^53 exact range
       // share the int encoding, so 1 == 1.0 across types (IdentityEquals'
-      // numeric coercion). Everything else gets a round-trippable %.17g
-      // (max_digits10) encoding: std::to_string's fixed 6 fractional
-      // digits collapsed distinct doubles (1e-9 vs 2e-9 -> "0.000000").
+      // numeric coercion); ExactInt64 maps -0.0 to 0, so -0.0 and +0.0 --
+      // SQL-equal but distinct under %.17g ("-0" vs "0") -- share one key.
+      // NaN gets a fixed tag byte: it fails every range check, and %.17g
+      // renders it platform-dependently ("nan", "-nan", "nan(...)"), which
+      // would split or merge NaN keys depending on libc. One tag keeps the
+      // hash path consistent with CompareDoubles (NaN = NaN is TRUE).
+      // Everything else gets a round-trippable %.17g (max_digits10)
+      // encoding: std::to_string's fixed 6 fractional digits collapsed
+      // distinct doubles (1e-9 vs 2e-9 -> "0.000000").
       double d = v.AsDouble();
-      constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
-      if (d >= -kMaxExactInt && d <= kMaxExactInt &&
-          d == static_cast<double>(static_cast<int64_t>(d))) {
+      int64_t i = 0;
+      if (ExactInt64(d, &i)) {
         out->push_back('i');
-        out->append(std::to_string(static_cast<int64_t>(d)));
+        out->append(std::to_string(i));
+      } else if (std::isnan(d)) {
+        out->push_back('N');
       } else {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.17g", d);

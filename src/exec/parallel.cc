@@ -24,10 +24,12 @@
 #include <utility>
 #include <vector>
 
+#include "exec/columnar.h"
 #include "exec/hash_table.h"
 #include "exec/join_internal.h"
 #include "exec/lane_control.h"
 #include "exec/spill.h"
+#include "relational/column_batch.h"
 
 namespace gsopt::exec::internal {
 
@@ -60,10 +62,20 @@ StatusOr<Relation> ParallelSelect(const Relation& r, const Predicate& p,
   }
   Executor& ex = *ctx.executor;
   const int lanes = ex.lanes();
-  std::vector<Relation> lane_out(static_cast<size_t>(lanes),
-                                 Relation(r.schema(), r.vschema()));
-  std::vector<OperatorStats> lane_stats(static_cast<size_t>(lanes));
+  const size_t nlanes = static_cast<size_t>(lanes);
+  std::vector<Relation> lane_out(nlanes, Relation(r.schema(), r.vschema()));
+  std::vector<OperatorStats> lane_stats(nlanes);
   LaneControl control(lanes);
+
+  // Morsels ARE batch ranges: unless batching is off, each morsel is
+  // gathered columnar and run through the compiled filter, with per-lane
+  // scratch buffers reused across a lane's morsels. The filter is compiled
+  // once here and shared read-only by every lane.
+  const bool batch = ctx.batch != BatchMode::kOff;
+  CompiledFilter filter;
+  if (batch) filter = CompileFilter(p, r.schema());
+  std::vector<std::vector<Column>> lane_cols(nlanes);
+  std::vector<std::vector<int32_t>> lane_sel(nlanes);
 
   ex.pool().ParallelFor(
       r.NumRows(), ex.morsel_rows(),
@@ -71,6 +83,23 @@ StatusOr<Relation> ParallelSelect(const Relation& r, const Predicate& p,
         if (control.cancelled()) return;
         Relation& out = lane_out[static_cast<size_t>(lane)];
         OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
+        if (batch) {
+          Status s = ctx.Tick("select");
+          if (!s.ok()) return control.Fail(lane, std::move(s));
+          std::vector<Column>& cols = lane_cols[static_cast<size_t>(lane)];
+          std::vector<int32_t>& sel = lane_sel[static_cast<size_t>(lane)];
+          GatherColumnsInto(r, filter.cols, begin, end, &cols);
+          ApplyFilter(filter, r, begin, end - begin, cols, &sel);
+          st.columnar = true;
+          ++st.batches;
+          st.residual_evals += static_cast<uint64_t>(end - begin);
+          for (int32_t i : sel) out.Add(r.row(begin + i));
+          if (!sel.empty()) {
+            s = ctx.ChargeRows(static_cast<uint64_t>(sel.size()), "select");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+          }
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) {
           Status s = ctx.Tick("select");
           if (!s.ok()) return control.Fail(lane, std::move(s));
@@ -171,6 +200,24 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
       std::vector<std::vector<JoinHashTable::Entry>>(
           static_cast<size_t>(parts)));
   std::vector<OperatorStats> lane_stats(nlanes);
+
+  // Batched key encoding: when the keys are plain columns (and batching is
+  // not off), each morsel gathers its key columns once and encodes binary
+  // keys from the typed arrays instead of evaluating scalars by name per
+  // row. Build and probe share the decision, so both sides always use one
+  // encoding; the spill fallback re-encodes internally and is unaffected.
+  const bool batch = ctx.batch != BatchMode::kOff &&
+                     ColumnarJoinEligible(plan, a.schema(), b.schema());
+  std::vector<int> a_key_cols, b_key_cols;
+  if (batch) {
+    for (const ScalarPtr& k : plan.a_keys) {
+      a_key_cols.push_back(a.schema().Find(k->rel(), k->name()));
+    }
+    for (const ScalarPtr& k : plan.b_keys) {
+      b_key_cols.push_back(b.schema().Find(k->rel(), k->name()));
+    }
+  }
+  std::vector<std::vector<Column>> lane_kcols(nlanes);
   // Per-lane ledgers for build-state bytes (arena keys + entries, then the
   // pass-2 table slots); released by destruction on every exit path. A
   // memory-cap trip in any lane raises mem_trip so the fan-in can tell a
@@ -191,11 +238,28 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
         auto& my_parts = lane_parts[static_cast<size_t>(lane)];
         OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
         OpMemory& mem = lane_mem[static_cast<size_t>(lane)];
-        std::string key;
-        for (int64_t j = begin; j < end; ++j) {
+        std::vector<Column>* kc = nullptr;
+        if (batch) {
           Status s = ctx.Tick("join");
           if (!s.ok()) return control.Fail(lane, std::move(s));
-          if (!EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key)) {
+          kc = &lane_kcols[static_cast<size_t>(lane)];
+          GatherColumnsInto(b, b_key_cols, begin, end, kc);
+          st.columnar = true;
+          ++st.batches;
+        }
+        std::string key;
+        for (int64_t j = begin; j < end; ++j) {
+          Status s;
+          bool key_ok;
+          if (batch) {
+            key.clear();
+            key_ok = AppendBatchKey(*kc, j - begin, &key);
+          } else {
+            s = ctx.Tick("join");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+            key_ok = EncodeKeys(plan.b_keys, b.row(j), b.schema(), &key);
+          }
+          if (!key_ok) {
             ++st.null_key_skips;
             continue;
           }
@@ -295,6 +359,7 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
   std::vector<std::vector<char>> lane_b_matched(
       nlanes, std::vector<char>(static_cast<size_t>(b.NumRows()), 0));
   Predicate residual(plan.residual);
+  const bool has_residual = !plan.residual.empty();
 
   // Pass 3: probe in morsels. a_matched rows are owned by exactly one
   // lane; b_matched is per-lane and OR-merged after the fan-in.
@@ -305,11 +370,28 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
         Relation& out = lane_out[static_cast<size_t>(lane)];
         OperatorStats& st = lane_stats[static_cast<size_t>(lane)];
         std::vector<char>& bm = lane_b_matched[static_cast<size_t>(lane)];
-        std::string key;
-        for (int64_t i = begin; i < end; ++i) {
+        std::vector<Column>* kc = nullptr;
+        if (batch) {
           Status s = ctx.Tick("join");
           if (!s.ok()) return control.Fail(lane, std::move(s));
-          if (!EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key)) {
+          kc = &lane_kcols[static_cast<size_t>(lane)];
+          GatherColumnsInto(a, a_key_cols, begin, end, kc);
+          st.columnar = true;
+          ++st.batches;
+        }
+        std::string key;
+        for (int64_t i = begin; i < end; ++i) {
+          Status s;
+          bool key_ok;
+          if (batch) {
+            key.clear();
+            key_ok = AppendBatchKey(*kc, i - begin, &key);
+          } else {
+            s = ctx.Tick("join");
+            if (!s.ok()) return control.Fail(lane, std::move(s));
+            key_ok = EncodeKeys(plan.a_keys, a.row(i), a.schema(), &key);
+          }
+          if (!key_ok) {
             ++st.null_key_skips;
             continue;
           }
@@ -322,8 +404,18 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
             s = ctx.Tick("join");
             if (!s.ok()) return control.Fail(lane, std::move(s));
             int64_t j = table.entry(e).row;
-            Tuple t = Tuple::Concat(a.row(i), b.row(j));
             ++st.residual_evals;
+            if (!has_residual) {
+              // No residual: build the output row in place (same fast
+              // append as the serial columnar probe).
+              res.a_matched[static_cast<size_t>(i)] = 1;
+              bm[static_cast<size_t>(j)] = 1;
+              out.AddConcat(a.row(i), b.row(j));
+              s = ctx.ChargeRows(1, "join");
+              if (!s.ok()) return control.Fail(lane, std::move(s));
+              continue;
+            }
+            Tuple t = Tuple::Concat(a.row(i), b.row(j));
             if (residual.Satisfied(t, out_schema)) {
               res.a_matched[static_cast<size_t>(i)] = 1;
               bm[static_cast<size_t>(j)] = 1;

@@ -43,8 +43,15 @@ uint64_t Mix64(uint64_t x) {
 }  // namespace
 
 uint64_t ApproxTupleBytes(const Tuple& t) {
-  uint64_t n = sizeof(Tuple) + t.values.size() * sizeof(Value) +
-               t.vids.size() * sizeof(RowId);
+  // Inline payloads (the common shapes) are already inside sizeof(Tuple);
+  // only heap-spilled wide payloads and string contents add bytes.
+  uint64_t n = sizeof(Tuple);
+  if (t.values.size() > Tuple::kInlineValues) {
+    n += t.values.size() * sizeof(Value);
+  }
+  if (t.vids.size() > Tuple::kInlineVids) {
+    n += t.vids.size() * sizeof(RowId);
+  }
   for (const Value& v : t.values) {
     if (v.type() == ValueType::kString) n += v.AsString().size();
   }
@@ -59,8 +66,22 @@ uint64_t SpillPartitionHash(const std::string& key, int depth) {
                (static_cast<uint64_t>(depth) * 0xd6e8feb86659fd93ull));
 }
 
-void AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf) {
+Status AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf) {
+  // Record framing narrows to u16 counts and a u32 payload length. The
+  // casts used to be unchecked: a 65536-column tuple wrapped its count to
+  // 0 and a >4GB string wrapped its length, silently corrupting the run
+  // and every record after it. Check the limits up front and mid-stream,
+  // rolling the buffer back so a failed append leaves no partial record.
+  constexpr size_t kMaxCount = UINT16_MAX;
+  constexpr uint64_t kMaxPayload = UINT32_MAX;
   size_t len_pos = buf->size();
+  if (t.values.size() > kMaxCount || t.vids.size() > kMaxCount) {
+    return Status::ResourceExhausted(
+        "spill: tuple arity exceeds record format (values=" +
+        std::to_string(t.values.size()) +
+        ", vids=" + std::to_string(t.vids.size()) + ", max=" +
+        std::to_string(kMaxCount) + ")");
+  }
   uint32_t payload_len = 0;
   PutRaw(buf, &payload_len, sizeof payload_len);  // patched below
   PutRaw(buf, &orig, sizeof orig);
@@ -86,6 +107,12 @@ void AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf) {
       }
       case ValueType::kString: {
         const std::string& s = v.AsString();
+        if (s.size() > kMaxPayload) {
+          buf->resize(len_pos);
+          return Status::ResourceExhausted(
+              "spill: string value of " + std::to_string(s.size()) +
+              " bytes exceeds the u32 record length");
+        }
         uint32_t n = static_cast<uint32_t>(s.size());
         PutRaw(buf, &n, sizeof n);
         buf->append(s);
@@ -94,14 +121,22 @@ void AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf) {
     }
   }
   for (RowId vid : t.vids) PutRaw(buf, &vid, sizeof vid);
-  payload_len = static_cast<uint32_t>(buf->size() - len_pos - 4);
+  uint64_t payload = buf->size() - len_pos - sizeof payload_len;
+  if (payload > kMaxPayload) {
+    buf->resize(len_pos);
+    return Status::ResourceExhausted(
+        "spill: record payload of " + std::to_string(payload) +
+        " bytes exceeds the u32 record length");
+  }
+  payload_len = static_cast<uint32_t>(payload);
   std::memcpy(buf->data() + len_pos, &payload_len, sizeof payload_len);
+  return Status::OK();
 }
 
 Status WriteTupleRecord(SpillFile* f, const Tuple& t, int64_t orig,
                         std::string* scratch) {
   scratch->clear();
-  AppendTupleRecord(t, orig, scratch);
+  GSOPT_RETURN_IF_ERROR(AppendTupleRecord(t, orig, scratch));
   return f->Append(scratch->data(), scratch->size());
 }
 

@@ -50,7 +50,11 @@ uint64_t ApproxTupleBytes(const Tuple& t);
 uint64_t SpillPartitionHash(const std::string& key, int depth);
 
 // Serializes (tuple, original row index) onto `buf` in record format.
-void AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf);
+// Returns kResourceExhausted -- with `buf` unchanged -- when the tuple
+// exceeds the framing limits (more than 65535 values or vids, a string or
+// total payload past 4GB); the old unchecked casts silently truncated the
+// counts and corrupted every record after.
+Status AppendTupleRecord(const Tuple& t, int64_t orig, std::string* buf);
 
 Status WriteTupleRecord(SpillFile* f, const Tuple& t, int64_t orig,
                         std::string* scratch);

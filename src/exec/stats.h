@@ -33,6 +33,12 @@ struct OperatorStats {
   uint64_t rows_in = 0;    // input tuples consumed (both sides for binaries)
   uint64_t rows_out = 0;   // output tuples produced
 
+  // Columnar-path counters (exec/columnar.cc): set when the operator ran
+  // batch-at-a-time; `batches` counts kBatchRows-row batches processed
+  // (build and probe batches both, for joins).
+  bool columnar = false;
+  uint64_t batches = 0;
+
   // Hash-path counters (join kernels; zero on the nested-loop path).
   bool hash_path = false;
   uint64_t build_rows = 0;      // tuples inserted into the hash table

@@ -1,0 +1,129 @@
+// Column-oriented batches over row-store Relations.
+//
+// The executor's hot kernels (exec/columnar.cc) process inputs in batches
+// of kBatchRows rows, gathered column-by-column into typed arrays plus a
+// null bitmap, instead of interpreting Value variants tuple-at-a-time.
+// A Column is a *gather* of one schema column over a row range: the kind
+// is decided per batch from the values actually present, so a column that
+// is int64 in this batch gets a tight int64 array even if another batch of
+// the same relation mixes types (outer-join padding, outer unions).
+//
+// Batches borrow from their source Relation (string and mixed-value slots
+// hold pointers into the source tuples), so a batch must not outlive the
+// relation it was gathered from, and the relation must not be mutated
+// while batches over it are live. In exchange, gathering is one pass of
+// trivially-copyable stores per column -- cheap enough to do per operator.
+//
+// Row identity is never lost at the row<->batch boundary: ColumnBatch
+// keeps every virtual row-id column and the ORIGINAL row index of each
+// batch row, so generalized-selection resurrection, MGOJ compensation and
+// outer-join padding above a columnar kernel see exactly the globally-
+// indexed vids and matched bitmaps the tuple-at-a-time kernels produce.
+#ifndef GSOPT_RELATIONAL_COLUMN_BATCH_H_
+#define GSOPT_RELATIONAL_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace gsopt {
+
+// Rows per batch: large enough to amortize per-batch dispatch (one budget
+// tick, one stats update, one filter-compilation reuse per batch), small
+// enough that gathered columns for a handful of predicate/key columns stay
+// cache-resident.
+inline constexpr int64_t kBatchRows = 2048;
+
+enum class ColumnKind : uint8_t {
+  kInt64,   // every non-null value is INT64
+  kDouble,  // every non-null value is DOUBLE
+  kString,  // every non-null value is STRING (borrowed pointers)
+  kMixed,   // anything else; per-row Value pointers (borrowed)
+};
+
+// One schema column gathered over a row range. Exactly one of the typed
+// arrays is populated (per `kind`); `nulls` always has one byte per row.
+struct Column {
+  ColumnKind kind = ColumnKind::kInt64;
+  bool has_nulls = false;
+  std::vector<uint8_t> nulls;           // 1 = NULL
+  std::vector<int64_t> i64;             // kInt64
+  std::vector<double> f64;              // kDouble
+  std::vector<const std::string*> str;  // kString; nullptr in NULL slots
+  std::vector<const Value*> vals;       // kMixed
+
+  int64_t size() const { return static_cast<int64_t>(nulls.size()); }
+  bool IsNull(int64_t i) const {
+    return nulls[static_cast<size_t>(i)] != 0;
+  }
+  // Numeric value as double (kInt64 / kDouble columns only).
+  double NumAt(int64_t i) const {
+    return kind == ColumnKind::kInt64
+               ? static_cast<double>(i64[static_cast<size_t>(i)])
+               : f64[static_cast<size_t>(i)];
+  }
+  void Clear() {
+    kind = ColumnKind::kInt64;
+    has_nulls = false;
+    nulls.clear();
+    i64.clear();
+    f64.clear();
+    str.clear();
+    vals.clear();
+  }
+};
+
+// Materializes batch row `i` of `c` back into a Value (copying strings).
+Value ColumnValueAt(const Column& c, int64_t i);
+
+// Gathers column `col` of rows [begin, end). The output borrows string /
+// mixed-value storage from `r`; reuses `out`'s buffers across batches.
+void GatherColumnInto(const Relation& r, int col, int64_t begin, int64_t end,
+                      Column* out);
+
+inline Column GatherColumn(const Relation& r, int col, int64_t begin,
+                           int64_t end) {
+  Column c;
+  GatherColumnInto(r, col, begin, end, &c);
+  return c;
+}
+
+// Gathers several columns at once (reusing `out`'s slots across batches).
+void GatherColumnsInto(const Relation& r, const std::vector<int>& cols,
+                       int64_t begin, int64_t end, std::vector<Column>* out);
+
+// Gathers the selected virtual row-id columns: out[k][i] is the vid of
+// vschema entry vid_idx[k] for batch row i.
+void GatherVidsInto(const Relation& r, const std::vector<int>& vid_idx,
+                    int64_t begin, int64_t end,
+                    std::vector<std::vector<RowId>>* out);
+
+// A full batch: every value column, every vid column, and the original row
+// index of each batch row. This is the row->batch converter the columnar
+// kernels and tests share; kernels that only need a few columns gather
+// those directly instead.
+struct ColumnBatch {
+  const Relation* source = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  std::vector<Column> columns;            // one per schema column
+  std::vector<std::vector<RowId>> vids;   // one per vschema entry
+  std::vector<int64_t> row_index;         // global row index per batch row
+
+  int64_t NumRows() const { return end - begin; }
+
+  static ColumnBatch FromRows(const Relation& r, int64_t begin, int64_t end);
+
+  // Batch->row converters. MaterializeRow rebuilds batch row i (0-based
+  // within the batch) with its values and vids; AppendTo appends every
+  // batch row onto `out` (same schema as the source), round-tripping the
+  // original row order.
+  Tuple MaterializeRow(int64_t i) const;
+  void AppendTo(Relation* out) const;
+};
+
+}  // namespace gsopt
+
+#endif  // GSOPT_RELATIONAL_COLUMN_BATCH_H_

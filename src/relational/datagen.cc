@@ -11,7 +11,7 @@ Relation MakeRandomRelation(const std::string& name,
   for (const std::string& c : columns) schema.Append(Attribute{name, c});
   Relation r(schema, VirtualSchema({name}));
   r.Reserve(options.num_rows);
-  for (int i = 0; i < options.num_rows; ++i) {
+  for (int64_t i = 0; i < options.num_rows; ++i) {
     std::vector<Value> values;
     values.reserve(columns.size());
     for (size_t c = 0; c < columns.size(); ++c) {

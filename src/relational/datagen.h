@@ -15,7 +15,7 @@
 namespace gsopt {
 
 struct RandomRelationOptions {
-  int num_rows = 16;
+  int64_t num_rows = 16;
   // Values are uniform integers in [0, domain). Smaller domains => higher
   // join selectivity and more duplicates.
   int64_t domain = 8;

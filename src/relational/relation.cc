@@ -7,10 +7,30 @@
 
 namespace gsopt {
 
-void Relation::Add(Tuple t) {
+void Relation::Add(const Tuple& t) {
+  GSOPT_DCHECK(static_cast<int>(t.values.size()) == schema_.size());
+  GSOPT_DCHECK(static_cast<int>(t.vids.size()) == vschema_.size());
+  rows_.push_back(t);
+}
+
+void Relation::Add(Tuple&& t) {
   GSOPT_DCHECK(static_cast<int>(t.values.size()) == schema_.size());
   GSOPT_DCHECK(static_cast<int>(t.vids.size()) == vschema_.size());
   rows_.push_back(std::move(t));
+}
+
+void Relation::AddConcat(const Tuple& a, const Tuple& b) {
+  GSOPT_DCHECK(static_cast<int>(a.values.size() + b.values.size()) ==
+               schema_.size());
+  GSOPT_DCHECK(static_cast<int>(a.vids.size() + b.vids.size()) ==
+               vschema_.size());
+  Tuple& t = rows_.emplace_back();
+  t.values.reserve(a.values.size() + b.values.size());
+  t.values.insert(t.values.end(), a.values.begin(), a.values.end());
+  t.values.insert(t.values.end(), b.values.begin(), b.values.end());
+  t.vids.reserve(a.vids.size() + b.vids.size());
+  t.vids.insert(t.vids.end(), a.vids.begin(), a.vids.end());
+  t.vids.insert(t.vids.end(), b.vids.begin(), b.vids.end());
 }
 
 void Relation::AddBaseRow(std::vector<Value> values, RowId id) {

@@ -30,7 +30,12 @@ class Relation {
   }
   const std::vector<Tuple>& rows() const { return rows_; }
 
-  void Add(Tuple t);
+  void Add(const Tuple& t);
+  void Add(Tuple&& t);
+
+  // Appends the concatenation of `a` and `b` constructed in place -- the
+  // join probe's hot append, done without an intermediate Tuple move.
+  void AddConcat(const Tuple& a, const Tuple& b);
 
   // Appends a row of real values, assigning the given row id to every
   // virtual attribute (for single-base-relation relations).

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "relational/inline_vec.h"
 #include "relational/value.h"
 
 namespace gsopt {
@@ -14,8 +15,15 @@ using RowId = int64_t;
 inline constexpr RowId kNullRowId = -1;
 
 struct Tuple {
-  std::vector<Value> values;
-  std::vector<RowId> vids;
+  // Inline capacities cover the common shapes -- base-relation rows and
+  // two-relation join rows -- so the hot output paths (join concat, select
+  // copy) allocate nothing per tuple. Wider tuples fall back to the heap
+  // inside InlineVec.
+  static constexpr size_t kInlineValues = 4;
+  static constexpr size_t kInlineVids = 2;
+
+  InlineVec<Value, kInlineValues> values;
+  InlineVec<RowId, kInlineVids> vids;
 
   Tuple() = default;
   Tuple(std::vector<Value> v, std::vector<RowId> ids)

@@ -14,8 +14,7 @@ std::optional<int> Value::Compare(const Value& a, const Value& b) {
       int64_t x = a.AsInt(), y = b.AsInt();
       return x < y ? -1 : (x > y ? 1 : 0);
     }
-    double x = a.AsDouble(), y = b.AsDouble();
-    return x < y ? -1 : (x > y ? 1 : 0);
+    return CompareDoubles(a.AsDouble(), b.AsDouble());
   }
   if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
     int c = a.AsString().compare(b.AsString());
@@ -57,20 +56,17 @@ size_t Value::Hash() const {
   switch (type()) {
     case ValueType::kNull:
       return 0x9E3779B9u;
-    case ValueType::kInt: {
-      // Hash ints through their double value so 1 and 1.0 collide, matching
-      // IdentityEquals' numeric coercion.
-      double d = AsDouble();
-      if (d == static_cast<double>(static_cast<int64_t>(d))) {
-        return std::hash<int64_t>()(static_cast<int64_t>(d));
-      }
-      return std::hash<double>()(d);
-    }
+    case ValueType::kInt:
     case ValueType::kDouble: {
+      // Hash numerics through their double value so 1 and 1.0 collide,
+      // matching IdentityEquals' numeric coercion. ExactInt64 guards the
+      // int64 cast: the old unconditional `static_cast<int64_t>(d)` was UB
+      // for NaN and for magnitudes at or past 2^63 (an INT64_MAX value
+      // rounds up to exactly 2^63 as a double, which does not fit back).
       double d = AsDouble();
-      if (d == static_cast<double>(static_cast<int64_t>(d))) {
-        return std::hash<int64_t>()(static_cast<int64_t>(d));
-      }
+      int64_t i = 0;
+      if (ExactInt64(d, &i)) return std::hash<int64_t>()(i);
+      if (std::isnan(d)) return 0x7FF8DEADu;  // one class for every NaN
       return std::hash<double>()(d);
     }
     case ValueType::kString:

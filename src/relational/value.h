@@ -4,12 +4,47 @@
 #ifndef GSOPT_RELATIONAL_VALUE_H_
 #define GSOPT_RELATIONAL_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <variant>
 
 namespace gsopt {
+
+// Total comparison of doubles under the engine's NaN convention: NaN
+// compares equal to NaN and greater than every non-NaN (the Postgres float8
+// rule). The naive `x < y ? -1 : (x > y ? 1 : 0)` formula silently reports
+// "equal" for NaN against ANY number (all NaN comparisons are false), which
+// made the nested-loop join accept NaN = 5.0 while the hash path keyed them
+// apart. Every comparison path -- Value::Compare, the columnar filter
+// loops, key canonicalization -- must route doubles through this one
+// definition.
+inline int CompareDoubles(double x, double y) {
+  if (x < y) return -1;
+  if (x > y) return 1;
+  if (x == y) return 0;
+  // At least one side is NaN.
+  bool nx = std::isnan(x), ny = std::isnan(y);
+  if (nx && ny) return 0;
+  return nx ? 1 : -1;
+}
+
+// True (setting *out) iff `d` is finite, integral and exactly representable
+// as an int64 within +/-2^53, the range where double<->int64 round-trips
+// are exact. -0.0 normalizes to 0 here, which is what makes the key
+// encodings collapse -0.0 and +0.0 into one equality class. Shared by
+// Value::Hash, the canonical key encodings (exec/keys.h) and the columnar
+// batch key encoder; the range guard also keeps the int64 cast defined
+// (casting NaN or an out-of-range double is UB).
+inline bool ExactInt64(double d, int64_t* out) {
+  constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+  if (!(d >= -kMaxExactInt && d <= kMaxExactInt)) return false;  // also NaN
+  int64_t i = static_cast<int64_t>(d);
+  if (static_cast<double>(i) != d) return false;
+  *out = i;
+  return true;
+}
 
 enum class ValueType { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
 

@@ -72,13 +72,18 @@ class OracleRunner {
 
  private:
   // Executes under a fresh row budget. kResourceExhausted surfaces to the
-  // caller (which skips the candidate); other errors propagate.
+  // caller (which skips the candidate); other errors propagate. Batch mode
+  // is pinned OFF: the reference tuple kernels are the ground truth every
+  // oracle compares against, and the columnar oracle alone turns the batch
+  // paths on (otherwise kAuto would let the two kernel families silently
+  // validate each other on larger inputs).
   StatusOr<Relation> Exec(const NodePtr& n, exec::Executor* executor = nullptr) {
     ResourceBudget budget;
     budget.WithMaxRows(opt_.max_rows_per_exec);
     ExecuteOptions eo;
     eo.budget = &budget;
     eo.executor = executor;
+    eo.batch = exec::BatchMode::kOff;
     return Execute(n, catalog_, eo);
   }
 
@@ -113,6 +118,7 @@ class OracleRunner {
   void RunTlp();
   void RunRoundTrip();
   void RunPlanCache();
+  void RunColumnar();
   void RunChaos();
 
   const NodePtr& query_;
@@ -412,6 +418,137 @@ void OracleRunner::RunPlanCache() {
   }
 }
 
+void OracleRunner::RunColumnar() {
+  ++outcome_.oracles_run;
+
+  // Forced-batch execution with optional executor / spill / fault wiring;
+  // results flow into comparisons, so the self-test mutation hook applies.
+  auto exec_forced = [&](exec::Executor* executor, ResourceBudget* budget,
+                         const exec::SpillConfig* spill,
+                         FaultInjector* fault) -> StatusOr<Relation> {
+    ExecuteOptions eo;
+    eo.budget = budget;
+    eo.executor = executor;
+    eo.spill = spill;
+    eo.fault = fault;
+    eo.batch = exec::BatchMode::kForce;
+    GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(query_, catalog_, eo));
+    if (opt_.mutate_checked_result) opt_.mutate_checked_result(&r);
+    return r;
+  };
+  auto check_bag = [&](const StatusOr<Relation>& got,
+                       const std::string& label) {
+    if (!got.ok()) {
+      if (Skipped(got.status())) return;
+      Fail(OracleKind::kColumnar,
+           label + " failed: " + got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kColumnar,
+           label + " diverges from the tuple-at-a-time result");
+    }
+  };
+
+  // Trial 1: forced batch kernels, serial.
+  {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(nullptr, &budget, nullptr, nullptr),
+              "columnar (serial)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 2: forced batch kernels on the morsel-parallel paths, with the
+  // thresholds forced down so fuzz-sized inputs actually fan out.
+  {
+    exec::Executor executor(4);
+    executor.set_min_parallel_rows(1);
+    executor.set_morsel_rows(7);
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(&executor, &budget, nullptr, nullptr),
+              "columnar (parallel)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 3: memory-starved forced batch with spilling enabled: the batch
+  // kernels must take the same out-of-core degradation as the reference
+  // path and still tile the baseline -- with the memory ledger unwound.
+  {
+    exec::SpillConfig spill;
+    spill.enabled = true;
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    budget.WithMaxMemory(opt_.chaos_memory_bytes);
+    auto got = exec_forced(nullptr, &budget, &spill, nullptr);
+    if (budget.memory_charged() != 0) {
+      Fail(OracleKind::kColumnar,
+           "columnar (spilling) left " +
+               std::to_string(budget.memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return;
+    }
+    if (!got.ok()) {
+      // Same irreducible-state escape as the chaos oracle's spill trial.
+      if (got.status().code() != StatusCode::kResourceExhausted ||
+          got.status().message().find("memory cap") != std::string::npos) {
+        Fail(OracleKind::kColumnar,
+             "columnar (spilling) failed: " + got.status().ToString());
+      } else {
+        ++outcome_.plans_skipped;
+      }
+      if (outcome_.failed) return;
+    } else {
+      check_bag(got, "columnar (spilling)");
+      if (outcome_.failed) return;
+    }
+  }
+
+  // Faulted trials: forced batch under deterministic injection. Contract
+  // as in chaos: a bag-correct success or a clean typed failure.
+  for (int trial = 0; trial < 2; ++trial) {
+    const uint64_t seed = static_cast<uint64_t>(
+        rng_->Uniform(0, std::numeric_limits<int64_t>::max() - 1));
+    FaultInjector::Options fo;
+    fo.seed = seed;
+    fo.period = opt_.chaos_fault_period;
+    FaultInjector fault(fo);
+    exec::SpillConfig spill;
+    spill.enabled = true;
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    auto got = exec_forced(nullptr, &budget, &spill, &fault);
+    if (budget.memory_charged() != 0) {
+      Fail(OracleKind::kColumnar,
+           "columnar fault seed " + std::to_string(seed) + " left " +
+               std::to_string(budget.memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return;
+    }
+    if (!got.ok()) {
+      const StatusCode code = got.status().code();
+      if (code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kUnavailable) {
+        continue;  // clean typed failure: the contract holds
+      }
+      Fail(OracleKind::kColumnar,
+           "columnar fault seed " + std::to_string(seed) +
+               " produced an unexpected error class: " +
+               got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kColumnar,
+           "columnar fault seed " + std::to_string(seed) +
+               " returned success with an incorrect bag");
+      return;
+    }
+  }
+}
+
 void OracleRunner::RunChaos() {
   ++outcome_.oracles_run;
   exec::SpillConfig spill;
@@ -583,6 +720,7 @@ StatusOr<OracleOutcome> OracleRunner::Run() {
   if (opt_.run_tlp && !outcome_.failed) RunTlp();
   if (opt_.run_round_trip && !outcome_.failed) RunRoundTrip();
   if (opt_.run_plan_cache && !outcome_.failed) RunPlanCache();
+  if (opt_.run_columnar && !outcome_.failed) RunColumnar();
   if (opt_.run_chaos && !outcome_.failed) RunChaos();
   return outcome_;
 }
@@ -597,6 +735,7 @@ std::string OracleKindName(OracleKind k) {
     case OracleKind::kTlp: return "tlp";
     case OracleKind::kRoundTrip: return "round-trip";
     case OracleKind::kPlanCache: return "plan-cache";
+    case OracleKind::kColumnar: return "columnar";
     case OracleKind::kChaos: return "chaos";
   }
   return "?";

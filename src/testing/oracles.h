@@ -8,6 +8,9 @@
 //                    lane count;
 //  * degradation  -- every fallback-ladder rung (generalized, baseline,
 //                    binary-only, syntactic) still answers correctly;
+//  * columnar     -- forcing the batch (columnar) kernel paths -- serial,
+//                    parallel, spilling, faulted -- reproduces the
+//                    tuple-at-a-time result;
 //  * TLP          -- partitioning any visible column c by `c <= k`,
 //                    `c > k`, `c IS NULL` and unioning the three optimized
 //                    partitions reproduces the unpartitioned result
@@ -49,6 +52,7 @@ enum class OracleKind {
   kTlp,
   kRoundTrip,
   kPlanCache,
+  kColumnar,
   kChaos,
 };
 
@@ -61,6 +65,14 @@ struct OracleOptions {
   bool run_tlp = true;
   bool run_round_trip = true;
   bool run_plan_cache = true;
+  // Columnar-vs-tuple differential: re-executes the query with
+  // BatchMode::kForce -- serial, morsel-parallel, memory-starved (the
+  // batch kernels' spill degradation), and under seeded fault injection --
+  // and holds every trial to the tuple-at-a-time baseline's bag (or, for
+  // the faulted trials, to a clean typed failure). The baseline itself
+  // pins BatchMode::kOff, so the two kernel families never silently
+  // validate each other.
+  bool run_columnar = true;
   // Chaos oracle (opt-in; see --chaos in tools/gsopt_fuzz): re-executes
   // the query under a starvation-level memory cap (forcing the spill
   // path), then under deterministic fault injection at every site, and

@@ -1,0 +1,500 @@
+// Columnar-vs-tuple differential suite for the batch kernel paths
+// (exec/columnar.cc): forcing BatchMode::kForce must reproduce the
+// tuple-at-a-time reference kernels (BatchMode::kOff) on every shape --
+// selection (exact row order), hash joins of every flavor (bag equality),
+// hash aggregation, and the parallel twins -- across batch-boundary sizes,
+// NULL-heavy data, mixed-type columns, fallback atoms, and the memory-cap
+// spill degradation. Also unit-tests the ColumnBatch gather/materialize
+// round trip and the compiled-filter / batch-key building blocks directly.
+#include "exec/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/budget.h"
+#include "base/rng.h"
+#include "exec/aggregate.h"
+#include "exec/eval.h"
+#include "exec/executor.h"
+#include "relational/column_batch.h"
+#include "relational/datagen.h"
+
+namespace gsopt {
+namespace {
+
+using exec::AggFunc;
+using exec::AggSpec;
+using exec::AntiJoin;
+using exec::BatchMode;
+using exec::ExecContext;
+using exec::Executor;
+using exec::FullOuterJoin;
+using exec::GeneralizedProjection;
+using exec::GroupBySpec;
+using exec::InnerJoin;
+using exec::LeftOuterJoin;
+using exec::OperatorStats;
+using exec::RightOuterJoin;
+using exec::Select;
+using exec::SemiJoin;
+using exec::SpillConfig;
+using exec::internal::ApplyFilter;
+using exec::internal::CompiledFilter;
+using exec::internal::CompileFilter;
+
+Value I(int64_t v) { return Value::Int(v); }
+Value D(double v) { return Value::Double(v); }
+Value S(std::string v) { return Value::String(std::move(v)); }
+Value N() { return Value::Null(); }
+
+ExecContext Forced() {
+  ExecContext ctx;
+  ctx.batch = BatchMode::kForce;
+  return ctx;
+}
+
+ExecContext Reference() {
+  ExecContext ctx;
+  ctx.batch = BatchMode::kOff;
+  return ctx;
+}
+
+Relation RandomRel(const std::string& name, int rows, uint64_t seed,
+                   int64_t domain = 6, double null_fraction = 0.25) {
+  Rng rng(seed);
+  RandomRelationOptions opt;
+  opt.num_rows = rows;
+  opt.domain = domain;
+  opt.null_fraction = null_fraction;
+  return MakeRandomRelation(name, {"a", "b"}, opt, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnBatch: gather / materialize round trip.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnBatchTest, FromRowsRoundTripsValuesAndVids) {
+  Relation r = MakeRelation("r", {"x", "y"},
+                            {{I(1), D(1.5)},
+                             {N(), S("hi")},
+                             {I(3), N()},
+                             {D(4.25), I(-7)}});
+  ColumnBatch batch = ColumnBatch::FromRows(r, 0, r.NumRows());
+  ASSERT_EQ(batch.NumRows(), r.NumRows());
+  for (int64_t i = 0; i < r.NumRows(); ++i) {
+    Tuple t = batch.MaterializeRow(i);
+    ASSERT_EQ(t.values.size(), r.row(i).values.size());
+    for (size_t c = 0; c < t.values.size(); ++c) {
+      EXPECT_TRUE(Value::IdentityEquals(t.values[c], r.row(i).values[c]))
+          << "row " << i << " col " << c;
+    }
+    EXPECT_EQ(t.vids, r.row(i).vids);
+  }
+  Relation out(r.schema(), r.vschema());
+  batch.AppendTo(&out);
+  EXPECT_TRUE(Relation::BagEquals(r, out));
+}
+
+TEST(ColumnBatchTest, KindDetectionPerBatch) {
+  Relation r = MakeRelation("r", {"i", "d", "s", "m", "n"},
+                            {{I(1), D(0.5), S("a"), I(1), N()},
+                             {I(2), N(), S("b"), S("x"), N()},
+                             {N(), D(2.5), N(), D(3.0), N()}});
+  EXPECT_EQ(GatherColumn(r, 0, 0, 3).kind, ColumnKind::kInt64);
+  EXPECT_EQ(GatherColumn(r, 1, 0, 3).kind, ColumnKind::kDouble);
+  EXPECT_EQ(GatherColumn(r, 2, 0, 3).kind, ColumnKind::kString);
+  EXPECT_EQ(GatherColumn(r, 3, 0, 3).kind, ColumnKind::kMixed);
+  // All-NULL gathers to the cheapest representation.
+  EXPECT_EQ(GatherColumn(r, 4, 0, 3).kind, ColumnKind::kInt64);
+  // Kind is decided per batch, not per column globally: the mixed column's
+  // first row alone is pure int.
+  EXPECT_EQ(GatherColumn(r, 3, 0, 1).kind, ColumnKind::kInt64);
+  Column c = GatherColumn(r, 0, 0, 3);
+  EXPECT_TRUE(c.has_nulls);
+  EXPECT_FALSE(c.IsNull(0));
+  EXPECT_TRUE(c.IsNull(2));
+}
+
+// ---------------------------------------------------------------------------
+// Compiled filter: exact-order equality with the reference Select across
+// predicate shapes and batch-boundary sizes.
+// ---------------------------------------------------------------------------
+
+void ExpectSelectExactlyMatches(const Relation& r, const Predicate& p) {
+  StatusOr<Relation> ref = Select(r, p, Reference());
+  StatusOr<Relation> col = Select(r, p, Forced());
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(col.ok());
+  ASSERT_EQ(ref->NumRows(), col->NumRows()) << p.ToString();
+  // ColumnarSelect guarantees the exact reference order, not just the bag.
+  for (int64_t i = 0; i < ref->NumRows(); ++i) {
+    for (size_t c = 0; c < ref->row(i).values.size(); ++c) {
+      EXPECT_TRUE(Value::IdentityEquals(ref->row(i).values[c],
+                                        col->row(i).values[c]))
+          << p.ToString() << " row " << i;
+    }
+    EXPECT_EQ(ref->row(i).vids, col->row(i).vids);
+  }
+}
+
+TEST(ColumnarSelectTest, PredicateShapesMatchReference) {
+  Relation r = RandomRel("ra", 300, 7);
+  std::vector<Predicate> preds;
+  preds.emplace_back(MakeAtom("ra", "a", CmpOp::kLt, "ra", "b"));
+  preds.emplace_back(MakeConstAtom("ra", "a", CmpOp::kGe, I(3)));
+  preds.emplace_back(MakeConstAtom("ra", "a", CmpOp::kNe, D(2.0)));
+  preds.emplace_back(MakeIsNullAtom("ra", "a", /*negated=*/false));
+  preds.emplace_back(MakeIsNullAtom("ra", "b", /*negated=*/true));
+  preds.push_back(Predicate::True());
+  preds.emplace_back(MakeTautologyAtom());
+  // Comparison against a NULL constant is never TRUE (compiles to kNever).
+  preds.emplace_back(MakeConstAtom("ra", "a", CmpOp::kEq, N()));
+  // Unresolvable column: Scalar::Eval yields NULL, the compiler folds it.
+  preds.emplace_back(MakeAtom("ra", "a", CmpOp::kEq, "zz", "q"));
+  preds.emplace_back(MakeIsNullAtom("zz", "q", /*negated=*/false));
+  // Arithmetic operand: exercises the per-row fallback atom.
+  {
+    Predicate p;
+    p.AddAtom(Atom{Atom::Kind::kCompare,
+                   Scalar::Arith(ArithOp::kAdd, Scalar::Column("ra", "a"),
+                                 Scalar::Const(I(1))),
+                   CmpOp::kLe, Scalar::Column("ra", "b")});
+    preds.push_back(p);
+  }
+  // Conjunction mixing native and fallback atoms.
+  {
+    Predicate p(MakeConstAtom("ra", "a", CmpOp::kGt, I(0)));
+    p.AddAtom(Atom{Atom::Kind::kCompare,
+                   Scalar::Arith(ArithOp::kMul, Scalar::Column("ra", "b"),
+                                 Scalar::Const(I(2))),
+                   CmpOp::kGt, Scalar::Column("ra", "a")});
+    preds.push_back(p);
+  }
+  for (const Predicate& p : preds) ExpectSelectExactlyMatches(r, p);
+}
+
+TEST(ColumnarSelectTest, BatchBoundarySizesMatchReference) {
+  Predicate p(MakeAtom("ra", "a", CmpOp::kLe, "ra", "b"));
+  for (int rows : {0, 1, 127, 128, 2047, 2048, 2049, 4097}) {
+    ExpectSelectExactlyMatches(RandomRel("ra", rows, 11 + rows), p);
+  }
+}
+
+TEST(ColumnarSelectTest, MixedTypeColumnsMatchReference) {
+  // One column holding ints, doubles, strings and NULLs in one batch:
+  // forces the kMixed per-value path and the typed-incomparable rules.
+  Relation r = MakeRelation("ra", {"a", "b"},
+                            {{I(1), I(1)},
+                             {D(1.0), S("1")},
+                             {S("x"), S("x")},
+                             {N(), I(0)},
+                             {D(0.5), D(0.25)},
+                             {I(-3), D(-3.0)}});
+  ExpectSelectExactlyMatches(r, Predicate(MakeAtom("ra", "a", CmpOp::kEq,
+                                                   "ra", "b")));
+  ExpectSelectExactlyMatches(r, Predicate(MakeAtom("ra", "a", CmpOp::kLt,
+                                                   "ra", "b")));
+  ExpectSelectExactlyMatches(r, Predicate(MakeConstAtom("ra", "a", CmpOp::kEq,
+                                                        S("x"))));
+}
+
+TEST(ColumnarSelectTest, AutoThresholdUsesColumnarPathAndRecordsStats) {
+  Relation big = RandomRel("ra", 500, 3);
+  Predicate p(MakeConstAtom("ra", "a", CmpOp::kGe, I(2)));
+  OperatorStats st;
+  ExecContext ctx;
+  ctx.stats = &st;
+  ASSERT_TRUE(Select(big, p, ctx).ok());
+  EXPECT_TRUE(st.columnar);
+  EXPECT_GT(st.batches, 0u);
+  // Below the kAuto threshold the reference kernel runs.
+  Relation small = RandomRel("ra", 16, 4);
+  OperatorStats st2;
+  ctx.stats = &st2;
+  ASSERT_TRUE(Select(small, p, ctx).ok());
+  EXPECT_FALSE(st2.columnar);
+}
+
+TEST(ApplyFilterTest, RefinesAcrossAtomsInAscendingOrder) {
+  Relation r = MakeRelation("r", {"x"},
+                            {{I(5)}, {I(1)}, {I(4)}, {N()}, {I(2)}});
+  Predicate p(MakeConstAtom("r", "x", CmpOp::kGe, I(2)));
+  p.AddAtom(MakeConstAtom("r", "x", CmpOp::kLe, I(4)));
+  CompiledFilter f = CompileFilter(p, r.schema());
+  std::vector<Column> cols;
+  GatherColumnsInto(r, f.cols, 0, r.NumRows(), &cols);
+  std::vector<int32_t> sel;
+  ApplyFilter(f, r, 0, r.NumRows(), cols, &sel);
+  EXPECT_EQ(sel, (std::vector<int32_t>{2, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Joins: kForce vs kOff bag equality on every flavor.
+// ---------------------------------------------------------------------------
+
+Predicate EqA() { return Predicate(MakeAtom("ra", "a", CmpOp::kEq, "rb", "a")); }
+
+Predicate EqAWithResidual() {
+  return Predicate::And(EqA(),
+                        Predicate(MakeAtom("ra", "b", CmpOp::kLt, "rb", "b")));
+}
+
+TEST(ColumnarJoinTest, AllFlavorsMatchReference) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Relation a = RandomRel("ra", 90, seed);
+    Relation b = RandomRel("rb", 70, seed + 50);
+    for (const Predicate& p : {EqA(), EqAWithResidual()}) {
+      EXPECT_TRUE(Relation::BagEquals(*InnerJoin(a, b, p, Reference()),
+                                      *InnerJoin(a, b, p, Forced())));
+      EXPECT_TRUE(Relation::BagEquals(*LeftOuterJoin(a, b, p, Reference()),
+                                      *LeftOuterJoin(a, b, p, Forced())));
+      EXPECT_TRUE(Relation::BagEquals(*RightOuterJoin(a, b, p, Reference()),
+                                      *RightOuterJoin(a, b, p, Forced())));
+      EXPECT_TRUE(Relation::BagEquals(*FullOuterJoin(a, b, p, Reference()),
+                                      *FullOuterJoin(a, b, p, Forced())));
+      EXPECT_TRUE(Relation::BagEquals(*SemiJoin(a, b, p, Reference()),
+                                      *SemiJoin(a, b, p, Forced())));
+      EXPECT_TRUE(Relation::BagEquals(*AntiJoin(a, b, p, Reference()),
+                                      *AntiJoin(a, b, p, Forced())));
+    }
+  }
+}
+
+TEST(ColumnarJoinTest, BatchBoundarySizesMatchReference) {
+  for (int rows : {1, 127, 128, 2049}) {
+    Relation a = RandomRel("ra", rows, 31 + rows, /*domain=*/16);
+    Relation b = RandomRel("rb", rows, 77 + rows, /*domain=*/16);
+    EXPECT_TRUE(Relation::BagEquals(*InnerJoin(a, b, EqA(), Reference()),
+                                    *InnerJoin(a, b, EqA(), Forced())))
+        << rows << " rows";
+  }
+}
+
+TEST(ColumnarJoinTest, MultiColumnAndMixedTypeKeysMatchReference) {
+  // Keys spanning two columns with cross-type int/double values: the
+  // binary batch encoding must induce the same partition as the text path.
+  Relation a = MakeRelation("ra", {"a", "b"},
+                            {{I(1), I(2)},
+                             {D(1.0), I(2)},
+                             {I(1), D(2.0)},
+                             {S("1"), I(2)},
+                             {N(), I(2)},
+                             {D(0.5), S("k")}});
+  Relation b = MakeRelation("rb", {"a", "b"},
+                            {{I(1), I(2)},
+                             {D(1.0), D(2.0)},
+                             {S("1"), I(2)},
+                             {D(0.5), S("k")},
+                             {I(1), N()}});
+  Predicate p = Predicate::And(
+      EqA(), Predicate(MakeAtom("ra", "b", CmpOp::kEq, "rb", "b")));
+  EXPECT_TRUE(Relation::BagEquals(*InnerJoin(a, b, p, Reference()),
+                                  *InnerJoin(a, b, p, Forced())));
+  EXPECT_TRUE(Relation::BagEquals(*FullOuterJoin(a, b, p, Reference()),
+                                  *FullOuterJoin(a, b, p, Forced())));
+}
+
+TEST(ColumnarJoinTest, ArithmeticKeyStaysOnReferencePath) {
+  // a.a + 1 = b.a separates as an equi-key but is not a plain column, so
+  // the columnar join must decline and results still agree.
+  Relation a = RandomRel("ra", 200, 5, /*domain=*/8, /*null_fraction=*/0.1);
+  Relation b = RandomRel("rb", 200, 6, /*domain=*/8, /*null_fraction=*/0.1);
+  Predicate p;
+  p.AddAtom(Atom{Atom::Kind::kCompare,
+                 Scalar::Arith(ArithOp::kAdd, Scalar::Column("ra", "a"),
+                               Scalar::Const(I(1))),
+                 CmpOp::kEq, Scalar::Column("rb", "a")});
+  OperatorStats st;
+  ExecContext ctx = Forced();
+  ctx.stats = &st;
+  StatusOr<Relation> forced = InnerJoin(a, b, p, ctx);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_TRUE(Relation::BagEquals(*InnerJoin(a, b, p, Reference()), *forced));
+}
+
+TEST(ColumnarJoinTest, SpillUnderMemoryCapMatchesUncapped) {
+  Relation a = RandomRel("ra", 400, 21, /*domain=*/12);
+  Relation b = RandomRel("rb", 400, 22, /*domain=*/12);
+  Relation uncapped = *InnerJoin(a, b, EqAWithResidual(), Reference());
+  ResourceBudget budget;
+  budget.WithMaxMemory(4 * 1024);
+  SpillConfig spill;
+  spill.enabled = true;
+  ExecContext ctx = Forced();
+  ctx.budget = &budget;
+  ctx.spill = &spill;
+  OperatorStats st;
+  ctx.stats = &st;
+  StatusOr<Relation> capped = InnerJoin(a, b, EqAWithResidual(), ctx);
+  ASSERT_TRUE(capped.ok()) << capped.status().ToString();
+  EXPECT_TRUE(Relation::BagEquals(uncapped, *capped));
+  EXPECT_TRUE(st.spilled);
+  EXPECT_EQ(budget.memory_charged(), 0u);  // all charges unwound
+}
+
+TEST(ColumnarJoinTest, MemoryCapWithoutSpillFailsCleanly) {
+  Relation a = RandomRel("ra", 300, 31, /*domain=*/4);
+  Relation b = RandomRel("rb", 300, 32, /*domain=*/4);
+  ResourceBudget budget;
+  budget.WithMaxMemory(512);
+  ExecContext ctx = Forced();
+  ctx.budget = &budget;
+  StatusOr<Relation> r = InnerJoin(a, b, EqA(), ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.memory_charged(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Special double keys (the key-canonicalization regression suite): hash
+// equality must agree with comparison equality for -0.0 / +0.0, NaN, and
+// int-valued doubles, on both the tuple and columnar paths.
+// ---------------------------------------------------------------------------
+
+TEST(SpecialDoubleKeyTest, HashJoinMatchesNestedLoopOnSignedZeroAndNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Relation a = MakeRelation("ra", {"a", "b"},
+                            {{D(-0.0), I(1)},
+                             {D(0.0), I(2)},
+                             {I(0), I(3)},
+                             {D(nan), I(4)},
+                             {D(-nan), I(5)},
+                             {D(9007199254740993.0), I(6)},
+                             {I(5), I(7)}});
+  Relation b = MakeRelation("rb", {"a", "c"},
+                            {{D(0.0), I(10)},
+                             {D(-0.0), I(11)},
+                             {I(0), I(12)},
+                             {D(nan), I(13)},
+                             {D(9007199254740992.0), I(14)},
+                             {D(5.0), I(15)}});
+  // Same equality phrased so no equi-conjunct separates: forces the
+  // nested-loop path, whose Value::Compare is the semantic ground truth.
+  Predicate nested;
+  nested.AddAtom(MakeAtom("ra", "a", CmpOp::kLe, "rb", "a"));
+  nested.AddAtom(MakeAtom("ra", "a", CmpOp::kGe, "rb", "a"));
+  Relation nl = *InnerJoin(a, b, nested, Reference());
+  // -0.0, +0.0 and the int 0 all match each other (3x3) plus NaN pairs
+  // (2x1) plus 5 = 5.0: the canonicalized key encoding must reproduce
+  // exactly this bag on the hash paths.
+  EXPECT_TRUE(Relation::BagEquals(nl, *InnerJoin(a, b, EqA(), Reference())));
+  EXPECT_TRUE(Relation::BagEquals(nl, *InnerJoin(a, b, EqA(), Forced())));
+}
+
+TEST(SpecialDoubleKeyTest, ValueHashAgreesWithEquality) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Value::Compare(D(-0.0), D(0.0)), 0);
+  EXPECT_EQ(D(-0.0).Hash(), D(0.0).Hash());
+  EXPECT_EQ(Value::Compare(D(5.0), I(5)), 0);
+  EXPECT_EQ(D(5.0).Hash(), I(5).Hash());
+  EXPECT_EQ(Value::Compare(D(nan), D(nan)), 0);
+  EXPECT_EQ(D(nan).Hash(), D(-nan).Hash());
+  // NaN sorts after every non-NaN and never equals one.
+  EXPECT_GT(Value::Compare(D(nan), D(1e308)), 0);
+  EXPECT_NE(Value::Compare(D(nan), I(0)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation: columnar group-by parity.
+// ---------------------------------------------------------------------------
+
+AggSpec Agg(AggFunc f, ScalarPtr in, std::string name, bool distinct = false) {
+  AggSpec s;
+  s.func = f;
+  s.distinct = distinct;
+  s.input = std::move(in);
+  s.out_rel = "g";
+  s.out_name = std::move(name);
+  return s;
+}
+
+TEST(ColumnarAggTest, GroupByMatchesReference) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Relation r = RandomRel("ra", 250, seed);
+    GroupBySpec spec;
+    spec.group_cols = {Attribute{"ra", "a"}};
+    spec.aggs.push_back(Agg(AggFunc::kCountStar, nullptr, "n"));
+    spec.aggs.push_back(Agg(AggFunc::kSum, Scalar::Column("ra", "b"), "s"));
+    spec.aggs.push_back(Agg(AggFunc::kMin, Scalar::Column("ra", "b"), "lo"));
+    spec.aggs.push_back(Agg(AggFunc::kMax, Scalar::Column("ra", "b"), "hi"));
+    spec.aggs.push_back(Agg(AggFunc::kAvg, Scalar::Column("ra", "b"), "m"));
+    spec.aggs.push_back(Agg(AggFunc::kCount, Scalar::Column("ra", "b"), "c"));
+    OperatorStats st;
+    ExecContext forced = Forced();
+    forced.stats = &st;
+    StatusOr<Relation> ref = GeneralizedProjection(r, spec, Reference());
+    StatusOr<Relation> col = GeneralizedProjection(r, spec, forced);
+    ASSERT_TRUE(ref.ok());
+    ASSERT_TRUE(col.ok());
+    EXPECT_TRUE(Relation::BagEquals(*ref, *col)) << "seed " << seed;
+    EXPECT_TRUE(st.columnar);
+  }
+}
+
+TEST(ColumnarAggTest, DistinctAggFallsBackAndMatches) {
+  Relation r = RandomRel("ra", 200, 9);
+  GroupBySpec spec;
+  spec.group_cols = {Attribute{"ra", "a"}};
+  spec.aggs.push_back(
+      Agg(AggFunc::kCount, Scalar::Column("ra", "b"), "dc", /*distinct=*/true));
+  OperatorStats st;
+  ExecContext forced = Forced();
+  forced.stats = &st;
+  StatusOr<Relation> ref = GeneralizedProjection(r, spec, Reference());
+  StatusOr<Relation> col = GeneralizedProjection(r, spec, forced);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(Relation::BagEquals(*ref, *col));
+  EXPECT_FALSE(st.columnar);  // DISTINCT pins the reference path
+}
+
+TEST(ColumnarAggTest, GroupKeyNullsAndVidsMatchReference) {
+  // NULL group keys form a real group, and vid-keyed grouping
+  // (group_vid_rels) must partition identically under the batch key.
+  Relation r = RandomRel("ra", 180, 13, /*domain=*/3, /*null_fraction=*/0.4);
+  GroupBySpec spec;
+  spec.group_cols = {Attribute{"ra", "a"}, Attribute{"ra", "b"}};
+  spec.group_vid_rels = {"ra"};
+  spec.aggs.push_back(Agg(AggFunc::kCountStar, nullptr, "n"));
+  StatusOr<Relation> ref = GeneralizedProjection(r, spec, Reference());
+  StatusOr<Relation> col = GeneralizedProjection(r, spec, Forced());
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(Relation::BagEquals(*ref, *col));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel twins with batching forced.
+// ---------------------------------------------------------------------------
+
+Executor* TestExecutor() {
+  static Executor* ex = [] {
+    auto* e = new Executor(4);
+    e->set_min_parallel_rows(1);
+    e->set_morsel_rows(7);
+    return e;
+  }();
+  return ex;
+}
+
+TEST(ColumnarParallelTest, SelectAndJoinMatchSerialReference) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Relation a = RandomRel("ra", 211, seed);
+    Relation b = RandomRel("rb", 163, seed + 40);
+    ExecContext par = Forced();
+    par.executor = TestExecutor();
+    Predicate sel(MakeAtom("ra", "a", CmpOp::kLt, "ra", "b"));
+    EXPECT_TRUE(Relation::BagEquals(*Select(a, sel, Reference()),
+                                    *Select(a, sel, par)));
+    EXPECT_TRUE(
+        Relation::BagEquals(*InnerJoin(a, b, EqAWithResidual(), Reference()),
+                            *InnerJoin(a, b, EqAWithResidual(), par)));
+    EXPECT_TRUE(Relation::BagEquals(*FullOuterJoin(a, b, EqA(), Reference()),
+                                    *FullOuterJoin(a, b, EqA(), par)));
+  }
+}
+
+}  // namespace
+}  // namespace gsopt

@@ -2,9 +2,11 @@
 // full query class. Generates seeded random (query, data) cases -- GROUP
 // BY views, aggregated-column predicates, outer joins, nulls -- and checks
 // the plan-space / executor / degradation / TLP / SQL-round-trip /
-// plan-cache oracles on each (the last runs every case through a
-// gsopt::Session, validating that cached parameterized templates
-// re-instantiate to exactly what literal re-optimization produces);
+// plan-cache / columnar oracles on each (the plan-cache oracle runs every
+// case through a gsopt::Session, validating that cached parameterized
+// templates re-instantiate to exactly what literal re-optimization
+// produces; the columnar oracle forces the batch kernel paths -- serial,
+// parallel, spilling, faulted -- against the tuple-at-a-time baseline);
 // failures are delta-debugged to minimal reproducers and written as
 // self-contained .sql + CSV artifacts.
 //
@@ -51,6 +53,7 @@ int Usage() {
       "  --max-plans=N         plan-space cap per case (default 64)\n"
       "  --view-prob=P         GROUP BY view probability (default 0.5)\n"
       "  --inject-fault        mutate every checked result (self-test)\n"
+      "  --no-columnar         skip the columnar-vs-tuple oracle\n"
       "  --chaos               run the chaos oracle (spill + fault injection)\n"
       "  --chaos-period=N      fire one injected fault per N probes (default 3)\n"
       "  --chaos-memory=BYTES  operator-state cap for spill trials (default 16384)\n"
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
       opt.oracle.chaos_memory_bytes = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "chaos-trials", &v)) {
       opt.oracle.chaos_trials = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--no-columnar") == 0) {
+      opt.oracle.run_columnar = false;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       opt.oracle.run_chaos = true;
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
