@@ -51,6 +51,13 @@ struct ExecuteOptions {
   // bag-equal across modes (the columnar-vs-tuple oracle enforces this);
   // only row order may differ.
   exec::BatchMode batch = exec::BatchMode::kAuto;
+  // Bloom-filter sideways-information-passing policy (exec/bloom.h
+  // BloomMode). kAuto -- the default -- builds a build-side filter for
+  // joins whose build/probe cardinality ratio makes early probe rejection
+  // profitable; kOff pins every join filter-free (the differential
+  // baseline); kForce always filters. Results are bag-equal across modes
+  // (the bloom-vs-off oracle enforces this).
+  exec::BloomMode bloom = exec::BloomMode::kAuto;
 
   // Fluent builder, matching OptimizeOptions / SessionOptions idiom.
   ExecuteOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
@@ -63,6 +70,10 @@ struct ExecuteOptions {
   }
   ExecuteOptions& WithBatchMode(exec::BatchMode m) {
     batch = m;
+    return *this;
+  }
+  ExecuteOptions& WithBloomMode(exec::BloomMode m) {
+    bloom = m;
     return *this;
   }
 };

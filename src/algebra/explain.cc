@@ -102,6 +102,15 @@ void RenderAnalyze(const NodePtr& n, const exec::OperatorStats& stats,
                   static_cast<unsigned long long>(stats.residual_evals));
     line += buf;
   }
+  if (stats.bloom) {
+    std::snprintf(buf, sizeof(buf),
+                  " bloom{checks=%llu rejects=%llu fp=%llu}",
+                  static_cast<unsigned long long>(stats.bloom_checks),
+                  static_cast<unsigned long long>(stats.bloom_rejects),
+                  static_cast<unsigned long long>(
+                      stats.bloom_false_positives));
+    line += buf;
+  }
   if (stats.spilled) {
     std::snprintf(buf, sizeof(buf),
                   " spill{parts=%llu written=%llu read=%llu recurse=%llu "

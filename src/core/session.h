@@ -117,6 +117,14 @@ struct SessionOptions {
     exec.spill = s;
     return *this;
   }
+  SessionOptions& WithBatchMode(exec::BatchMode m) {
+    exec.batch = m;
+    return *this;
+  }
+  SessionOptions& WithBloomMode(exec::BloomMode m) {
+    exec.bloom = m;
+    return *this;
+  }
   SessionOptions& WithRetries(int n) { max_transient_retries = n; return *this; }
   SessionOptions& WithRetryBackoff(std::chrono::microseconds b) {
     retry_backoff = b;

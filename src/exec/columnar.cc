@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "exec/bloom.h"
 #include "exec/hash_table.h"
 #include "exec/spill.h"
 
@@ -294,6 +295,94 @@ inline bool PutValueKey(std::string* out, const Value& v) {
   return false;
 }
 
+// Streaming FNV-1a over exactly the bytes AppendBatchKey would emit for a
+// row, without materializing the key string. The bloom-filter probe pass
+// uses this to reject rows before any key bytes are copied; the byte
+// sequences below must stay in lockstep with PutI64/PutDoubleKey/
+// PutStringKey/PutValueKey above.
+struct KeyHash {
+  uint64_t h = 1469598103934665603ull;
+  void Byte(unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  void Bytes(const void* p, size_t n) {
+    const unsigned char* s = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) Byte(s[i]);
+  }
+};
+
+inline void HashI64(KeyHash* kh, int64_t v) {
+  kh->Byte('i');
+  kh->Bytes(&v, sizeof v);
+}
+
+inline void HashDoubleKey(KeyHash* kh, double d) {
+  int64_t i = 0;
+  if (ExactInt64(d, &i)) {
+    HashI64(kh, i);
+    return;
+  }
+  if (std::isnan(d)) {
+    kh->Byte('N');
+    return;
+  }
+  kh->Byte('d');
+  kh->Bytes(&d, sizeof d);
+}
+
+inline void HashStringKey(KeyHash* kh, const std::string& s) {
+  kh->Byte('s');
+  uint32_t len = static_cast<uint32_t>(s.size());
+  kh->Bytes(&len, sizeof len);
+  kh->Bytes(s.data(), s.size());
+}
+
+// False on NULL.
+inline bool HashValueKey(KeyHash* kh, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      HashI64(kh, v.AsInt());
+      return true;
+    case ValueType::kDouble:
+      HashDoubleKey(kh, v.AsDouble());
+      return true;
+    case ValueType::kString:
+      HashStringKey(kh, v.AsString());
+      return true;
+  }
+  return false;
+}
+
+// HashKeyBytes of the exact AppendBatchKey encoding of row i, computed
+// without building the string. False on a NULL key component.
+bool HashBatchKeyRow(const std::vector<Column>& key_cols, int64_t i,
+                     uint64_t* out) {
+  KeyHash kh;
+  for (const Column& c : key_cols) {
+    if (c.IsNull(i)) return false;
+    size_t k = static_cast<size_t>(i);
+    switch (c.kind) {
+      case ColumnKind::kInt64:
+        HashI64(&kh, c.i64[k]);
+        break;
+      case ColumnKind::kDouble:
+        HashDoubleKey(&kh, c.f64[k]);
+        break;
+      case ColumnKind::kString:
+        HashStringKey(&kh, *c.str[k]);
+        break;
+      case ColumnKind::kMixed:
+        if (!HashValueKey(&kh, *c.vals[k])) return false;
+        break;
+    }
+  }
+  *out = kh.h;
+  return true;
+}
+
 }  // namespace
 
 CompiledFilter CompileFilter(const Predicate& p, const Schema& s) {
@@ -573,6 +662,15 @@ StatusOr<JoinCoreResult> ColumnarJoinCore(const Relation& a, const Relation& b,
 
   uint64_t null_skips_before = st != nullptr ? st->null_key_skips : 0;
   OpMemory mem(ctx);
+  // Build-side bloom filter for sideways information passing: charged on
+  // its own reservation so a failed charge (cap or injected alloc fault)
+  // leaves it disabled without failing the join.
+  BloomFilter bloom;
+  OpMemory bloom_mem(ctx);
+  if (ctx.Bloom(b.NumRows(), a.NumRows()) &&
+      bloom_mem.Charge(BloomFilter::BytesFor(b.NumRows()), "join").ok()) {
+    bloom.Init(b.NumRows());
+  }
   std::vector<KeyArena> arenas(1);
   std::vector<JoinHashTable::Entry> entries;
   std::string key;
@@ -595,6 +693,7 @@ StatusOr<JoinCoreResult> ColumnarJoinCore(const Relation& a, const Relation& b,
         continue;
       }
       uint64_t h = HashKeyBytes(key);
+      if (bloom.enabled()) bloom.Insert(h);
       uint64_t off = arenas[0].Append(key);
       entries.push_back(JoinHashTable::Entry{
           h, off, static_cast<uint32_t>(key.size()), 0, begin + i, -1});
@@ -625,13 +724,18 @@ StatusOr<JoinCoreResult> ColumnarJoinCore(const Relation& a, const Relation& b,
     st->build_rows += built;
     st->max_bucket = std::max<uint64_t>(st->max_bucket, table.max_chain());
   }
-  if (built > 0) {
+  constexpr uint64_t kMaxReserve = 1u << 20;
+  uint64_t mean_bucket =
+      built == 0 ? 0
+                 : std::max<uint64_t>(
+                       1, built / std::max<uint64_t>(1, table.distinct_keys()));
+  if (built > 0 && !bloom.enabled()) {
     // Same clamped mean-bucket output reservation as the reference path.
-    constexpr uint64_t kMaxReserve = 1u << 20;
-    uint64_t expected =
-        static_cast<uint64_t>(a.NumRows()) *
-        std::max<uint64_t>(1, built / std::max<uint64_t>(
-                                          1, table.distinct_keys()));
+    // With the filter active this estimate over-sizes badly (most probes
+    // are rejected before they can match), so the reservation moves into
+    // the probe loop below and is scaled per batch by the filter pass
+    // count.
+    uint64_t expected = static_cast<uint64_t>(a.NumRows()) * mean_bucket;
     res.out.Reserve(static_cast<int64_t>(std::min(expected, kMaxReserve)));
   }
 
@@ -642,11 +746,118 @@ StatusOr<JoinCoreResult> ColumnarJoinCore(const Relation& a, const Relation& b,
   // keeps the per-pair loop free of dead policy probes.
   const bool idle = ctx.fault == nullptr && ctx.budget == nullptr;
   std::vector<Column> pcols;
+  // Walks entry e's duplicate chain, emitting matches for probe row gi.
+  auto walk_chain = [&](int64_t gi, int32_t e) -> Status {
+    for (; e >= 0; e = table.entry(e).next) {
+      // Tick inside the duplicate chain, like the reference path: a
+      // skewed key must not run deadline-blind. (Skipped when no policy
+      // is attached -- both calls are no-ops then.)
+      if (!idle) GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
+      int64_t j = table.entry(e).row;
+      // Duplicate chains jump across the build side; start pulling the
+      // next match's row while this one is being copied out.
+      int32_t e_next = table.entry(e).next;
+      if (e_next >= 0) Prefetch(&b.row(table.entry(e_next).row));
+      if (st != nullptr) ++st->residual_evals;
+      if (!has_residual) {
+        // No residual: build the output row in place, skipping the
+        // intermediate concat tuple entirely.
+        res.a_matched[static_cast<size_t>(gi)] = 1;
+        res.b_matched[static_cast<size_t>(j)] = 1;
+        res.out.AddConcat(a.row(gi), b.row(j));
+        if (!idle) GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
+        continue;
+      }
+      Tuple t = Tuple::Concat(a.row(gi), b.row(j));
+      if (residual.Satisfied(t, out_schema)) {
+        res.a_matched[static_cast<size_t>(gi)] = 1;
+        res.b_matched[static_cast<size_t>(j)] = 1;
+        res.out.Add(std::move(t));
+        GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
+      }
+    }
+    return Status::OK();
+  };
+  std::vector<int32_t> bsel;    // batch rows surviving the filter pass
+  std::vector<uint64_t> bhash;  // their key hashes, reused by Find
+  uint64_t bchecks = 0, brejects = 0, bfp = 0;
+  bool bloom_reserved = false;
+  // Cleared at the first-batch calibration point when the observed reject
+  // rate says the filter pass costs more than it saves (kAuto only).
+  bool bloom_live = bloom.enabled();
   for (int64_t begin = 0; begin < a.NumRows(); begin += kBatchRows) {
     int64_t end = std::min<int64_t>(begin + kBatchRows, a.NumRows());
     GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
     GatherColumnsInto(a, a_cols, begin, end, &pcols);
     if (st != nullptr) ++st->batches;
+    if (bloom_live) {
+      // Filter pass: a streaming hash plus one filter probe per row
+      // refines the batch's selection before any key bytes are
+      // materialized -- rejected rows never build their key string.
+      bsel.clear();
+      bhash.clear();
+      uint64_t batch_checks = 0;
+      for (int64_t i = 0; i < end - begin; ++i) {
+        uint64_t h = 0;
+        if (!HashBatchKeyRow(pcols, i, &h)) {
+          if (st != nullptr) ++st->null_key_skips;
+          continue;
+        }
+        ++batch_checks;
+        if (!bloom.MayContain(h)) {
+          ++brejects;
+          continue;
+        }
+        bsel.push_back(static_cast<int32_t>(i));
+        bhash.push_back(h);
+      }
+      bchecks += batch_checks;
+      if (st != nullptr) st->probe_rows += batch_checks;
+      // Reserve once, from the first batch's observed pass rate
+      // extrapolated over the whole probe side. Re-reserving per batch
+      // would reallocate the fat-tuple vector every batch (reserve() to
+      // an exact growing target defeats geometric growth); after this
+      // one estimate, ordinary push_back growth takes over.
+      // Calibration: once enough probes have been checked, disarm the
+      // filter for the remaining batches when it is not rejecting enough
+      // of them to pay for itself.
+      if (ctx.bloom == BloomMode::kAuto &&
+          bchecks >= kBloomCalibrateChecks &&
+          !BloomStillWinning(bchecks, brejects)) {
+        bloom_live = false;
+      }
+      if (!bloom_reserved && bchecks > 0 && mean_bucket > 0) {
+        bloom_reserved = true;
+        // Disarmed joins get the full off-path estimate; engaged ones
+        // scale it by the observed pass rate plus a 1/8 pad (an
+        // exact-fit reserve that undershoots by one row forces a
+        // whole-vector regrowth at the very end).
+        uint64_t pass =
+            bloom_live ? bchecks - brejects + bchecks / 8 : bchecks;
+        uint64_t expected = static_cast<uint64_t>(a.NumRows()) *
+                            mean_bucket * std::min(pass, bchecks) / bchecks;
+        res.out.Reserve(
+            static_cast<int64_t>(std::min(expected, kMaxReserve)));
+      } else if (bloom_reserved && !bloom_live && mean_bucket > 0) {
+        // Just disarmed after the sized-while-engaged reserve: regrow
+        // once to the off-path estimate instead of paying geometric
+        // regrowth on the now-unfiltered output.
+        uint64_t expected =
+            static_cast<uint64_t>(a.NumRows()) * mean_bucket;
+        res.out.Reserve(
+            static_cast<int64_t>(std::min(expected, kMaxReserve)));
+      }
+      for (size_t k = 0; k < bsel.size(); ++k) {
+        int64_t i = bsel[k];
+        key.clear();
+        AppendBatchKey(pcols, i, &key);  // non-NULL: hashed above
+        int32_t e = table.Find(bhash[k], key.data(),
+                               static_cast<uint32_t>(key.size()), arenas);
+        if (e < 0) ++bfp;
+        GSOPT_RETURN_IF_ERROR(walk_chain(begin + i, e));
+      }
+      continue;
+    }
     for (int64_t i = 0; i < end - begin; ++i) {
       key.clear();
       if (!AppendBatchKey(pcols, i, &key)) {
@@ -656,36 +867,14 @@ StatusOr<JoinCoreResult> ColumnarJoinCore(const Relation& a, const Relation& b,
       if (st != nullptr) ++st->probe_rows;
       int32_t e = table.Find(HashKeyBytes(key), key.data(),
                              static_cast<uint32_t>(key.size()), arenas);
-      int64_t gi = begin + i;
-      for (; e >= 0; e = table.entry(e).next) {
-        // Tick inside the duplicate chain, like the reference path: a
-        // skewed key must not run deadline-blind. (Skipped when no policy
-        // is attached -- both calls are no-ops then.)
-        if (!idle) GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
-        int64_t j = table.entry(e).row;
-        // Duplicate chains jump across the build side; start pulling the
-        // next match's row while this one is being copied out.
-        int32_t e_next = table.entry(e).next;
-        if (e_next >= 0) Prefetch(&b.row(table.entry(e_next).row));
-        if (st != nullptr) ++st->residual_evals;
-        if (!has_residual) {
-          // No residual: build the output row in place, skipping the
-          // intermediate concat tuple entirely.
-          res.a_matched[static_cast<size_t>(gi)] = 1;
-          res.b_matched[static_cast<size_t>(j)] = 1;
-          res.out.AddConcat(a.row(gi), b.row(j));
-          if (!idle) GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
-          continue;
-        }
-        Tuple t = Tuple::Concat(a.row(gi), b.row(j));
-        if (residual.Satisfied(t, out_schema)) {
-          res.a_matched[static_cast<size_t>(gi)] = 1;
-          res.b_matched[static_cast<size_t>(j)] = 1;
-          res.out.Add(std::move(t));
-          GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
-        }
-      }
+      GSOPT_RETURN_IF_ERROR(walk_chain(begin + i, e));
     }
+  }
+  if (st != nullptr && bchecks > 0) {
+    st->bloom = true;
+    st->bloom_checks += bchecks;
+    st->bloom_rejects += brejects;
+    st->bloom_false_positives += bfp;
   }
   if (st != nullptr) {
     st->rows_in += static_cast<uint64_t>(a.NumRows()) +

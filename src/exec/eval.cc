@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "base/check.h"
+#include "exec/bloom.h"
 #include "exec/columnar.h"
+#include "exec/hash_table.h"
 #include "exec/join_internal.h"
 #include "exec/keys.h"
 #include "exec/spill.h"
@@ -53,6 +55,17 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
     uint64_t build_rows_before = st != nullptr ? st->build_rows : 0;
     uint64_t null_skips_before = st != nullptr ? st->null_key_skips : 0;
     OpMemory mem(ctx);
+    // Sideways information passing: a build-side bloom filter lets the
+    // probe loop below reject non-matching rows without touching the hash
+    // table. The filter is charged through its own reservation so a failed
+    // charge (memory cap, injected alloc fault) just leaves it disabled --
+    // the filter is an optimization, never a correctness dependency.
+    BloomFilter bloom;
+    OpMemory bloom_mem(ctx);
+    if (ctx.Bloom(b.NumRows(), a.NumRows()) &&
+        bloom_mem.Charge(BloomFilter::BytesFor(b.NumRows()), "join").ok()) {
+      bloom.Init(b.NumRows());
+    }
     std::unordered_map<std::string, std::vector<int64_t>> table;
     std::string key;
     uint64_t built = 0;
@@ -82,6 +95,7 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
         std::vector<int64_t>& bucket = table[key];
         bucket.push_back(j);
         ++built;
+        if (bloom.enabled()) bloom.Insert(HashKeyBytes(key));
         if (st != nullptr) {
           ++st->build_rows;
           st->max_bucket = std::max<uint64_t>(st->max_bucket, bucket.size());
@@ -93,14 +107,26 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
     // Pre-size the output from build-side bucket statistics: expect each
     // probe row to match the mean bucket (build rows / distinct keys).
     // Clamped like Product's reservation so a pathological estimate cannot
-    // commit unbounded memory before the row cap or deadline fires.
-    if (!table.empty()) {
-      constexpr uint64_t kMaxReserve = 1u << 20;
-      uint64_t expected = static_cast<uint64_t>(a.NumRows()) *
-                          std::max<uint64_t>(1, built / table.size());
+    // commit unbounded memory before the row cap or deadline fires. With
+    // the bloom filter active the mean-bucket estimate over-sizes badly
+    // (most probes are rejected before they can match), so the reservation
+    // is deferred until enough probes have been checked to scale it by the
+    // observed filter pass rate.
+    constexpr uint64_t kMaxReserve = 1u << 20;
+    uint64_t mean_bucket =
+        table.empty() ? 0 : std::max<uint64_t>(1, built / table.size());
+    if (!table.empty() && !bloom.enabled()) {
+      uint64_t expected = static_cast<uint64_t>(a.NumRows()) * mean_bucket;
       res.out.Reserve(
           static_cast<int64_t>(std::min(expected, kMaxReserve)));
     }
+    // Filter counters stay in locals through the hot loop (stats may be
+    // disabled entirely) and flush to the stats node once at the end.
+    // bloom_live starts with the filter and is cleared at the calibration
+    // point when the observed reject rate says checking costs more than
+    // it saves (kAuto only; kForce stays engaged for test coverage).
+    uint64_t bchecks = 0, brejects = 0, bfp = 0;
+    bool bloom_live = bloom.enabled();
     Predicate residual(plan.residual);
     for (int64_t i = 0; i < a.NumRows(); ++i) {
       GSOPT_RETURN_IF_ERROR(ctx.Tick("join"));
@@ -109,8 +135,38 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
         continue;
       }
       if (st != nullptr) ++st->probe_rows;
+      if (bloom_live && bchecks == kBloomCalibrateChecks) {
+        // Calibration point: disarm when the filter is not rejecting
+        // enough to win, then size the output. (Checked before this
+        // row's filter probe, so a rejected row's `continue` cannot skip
+        // past the == comparison.) Disarmed joins get the full off-path
+        // estimate; engaged ones scale it by the observed pass rate plus
+        // a 1/8 pad -- an exact-fit reserve that undershoots by even one
+        // row forces a whole-vector regrowth at the very end, which
+        // costs more than the slack.
+        if (ctx.bloom == BloomMode::kAuto &&
+            !BloomStillWinning(bchecks, brejects)) {
+          bloom_live = false;
+        }
+        uint64_t pass =
+            bloom_live ? bchecks - brejects + bchecks / 8 : bchecks;
+        uint64_t expected = static_cast<uint64_t>(a.NumRows()) *
+                            mean_bucket * std::min(pass, bchecks) / bchecks;
+        res.out.Reserve(
+            static_cast<int64_t>(std::min(expected, kMaxReserve)));
+      }
+      if (bloom_live) {
+        ++bchecks;
+        if (!bloom.MayContain(HashKeyBytes(key))) {
+          ++brejects;
+          continue;
+        }
+      }
       auto it = table.find(key);
-      if (it == table.end()) continue;
+      if (it == table.end()) {
+        if (bloom_live) ++bfp;
+        continue;
+      }
       for (int64_t j : it->second) {
         // Tick inside the bucket-match loop: a skewed key whose bucket
         // holds most of the build side would otherwise run deadline-blind
@@ -125,6 +181,12 @@ StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
           GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "join"));
         }
       }
+    }
+    if (st != nullptr && bchecks > 0) {
+      st->bloom = true;
+      st->bloom_checks += bchecks;
+      st->bloom_rejects += brejects;
+      st->bloom_false_positives += bfp;
     }
   } else {
     for (int64_t i = 0; i < a.NumRows(); ++i) {
@@ -443,8 +505,8 @@ StatusOr<Relation> GeneralizedSelection(
   // The internal selection pass shares the budget and executor but not the
   // stats node: GS accounts for its own input/output exactly once and
   // counts the pass's predicate evaluations itself.
-  ExecContext select_ctx{ctx.budget, nullptr, ctx.executor, ctx.fault,
-                         ctx.spill,  ctx.batch};
+  ExecContext select_ctx{ctx.budget, nullptr,   ctx.executor, ctx.fault,
+                         ctx.spill,  ctx.batch, ctx.bloom};
   GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, select_ctx));
   RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
   if (ctx.stats != nullptr) {

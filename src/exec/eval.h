@@ -26,6 +26,7 @@
 #include "base/budget.h"
 #include "base/fault_injector.h"
 #include "base/status.h"
+#include "exec/bloom.h"
 #include "exec/executor.h"
 #include "exec/stats.h"
 #include "relational/expr.h"
@@ -89,6 +90,11 @@ struct ExecContext {
   const SpillConfig* spill = nullptr;
   // Columnar batch-execution policy (see BatchMode above).
   BatchMode batch = BatchMode::kAuto;
+  // Bloom-filter sideways-information-passing policy for the hash-join
+  // paths (exec/bloom.h). kAuto activates per join from the build/probe
+  // cardinality ratio; kOff pins every join filter-free; kForce always
+  // builds the filter when a hash path runs.
+  BloomMode bloom = BloomMode::kAuto;
 
   Status ChargeRows(uint64_t n, const char* stage) const {
     if (budget == nullptr) return Status::OK();
@@ -124,6 +130,13 @@ struct ExecContext {
     if (batch == BatchMode::kOff) return false;
     if (batch == BatchMode::kForce) return true;
     return rows >= kMinColumnarRows;
+  }
+  // True when a hash join with these build/probe cardinalities should
+  // build a bloom filter on its build side (exec/bloom.h BloomEligible).
+  // Callers must still charge the filter's memory and degrade to
+  // filter-off when the charge fails.
+  bool Bloom(int64_t build_rows, int64_t probe_rows) const {
+    return BloomEligible(bloom, build_rows, probe_rows);
   }
 };
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/bloom.h"
 #include "exec/columnar.h"
 #include "exec/hash_table.h"
 #include "exec/join_internal.h"
@@ -229,6 +230,28 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
   std::atomic<bool> mem_trip{false};
   LaneControl control(lanes);
 
+  // Bloom-filter sideways information passing: each lane fills a private
+  // filter during pass 1 (same geometry, so blocks line up), the
+  // coordinator ORs them into one after the build fan-in, and pass 3
+  // consults the merged filter before any table probe. All nlanes+1
+  // filters are charged up front on their own reservation; a failed
+  // charge just runs the join filter-free. The parallel probe needs the
+  // larger kAuto floor: in-flight morsels already hide lookup latency,
+  // so a 16K probe side loses to the (lanes + 1) filter builds + merge.
+  BloomFilter bloom;
+  std::vector<BloomFilter> lane_bloom(nlanes);
+  OpMemory bloom_mem(ctx);
+  const bool bloom_on =
+      ctx.Bloom(b.NumRows(), a.NumRows()) &&
+      (ctx.bloom == BloomMode::kForce ||
+       a.NumRows() >= kMinBloomProbeRowsParallel) &&
+      bloom_mem
+          .Charge(BloomFilter::BytesFor(b.NumRows()) * (nlanes + 1), "join")
+          .ok();
+  if (bloom_on) {
+    for (BloomFilter& f : lane_bloom) f.Init(b.NumRows());
+  }
+
   // Pass 1: build-side encode + hash + partition.
   ex.pool().ParallelFor(
       b.NumRows(), ex.morsel_rows(),
@@ -269,6 +292,7 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
             return control.Fail(lane, std::move(s));
           }
           uint64_t h = HashKeyBytes(key);
+          if (bloom_on) lane_bloom[static_cast<size_t>(lane)].Insert(h);
           uint64_t off = arena.Append(key);
           my_parts[h >> shift].push_back(JoinHashTable::Entry{
               h, off, static_cast<uint32_t>(key.size()),
@@ -302,9 +326,17 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
     // already recorded by ParallelJoinCore; SpillJoinCore leaves it alone.
     for (OpMemory& m : lane_mem) m.Release();
     pass2_mem.Release();
+    bloom_mem.Release();
     arenas.clear();
     lane_parts.clear();
     return SpillJoinCore(a, b, plan, ctx);
+  }
+
+  // OR the per-lane filters into one for the probe pass. Every lane filter
+  // was sized from the same row count, so the geometries match.
+  if (bloom_on) {
+    bloom.Init(b.NumRows());
+    for (const BloomFilter& f : lane_bloom) bloom.MergeFrom(f);
   }
 
   // Pass 2: build one open-addressing table per partition. Partitions are
@@ -340,6 +372,7 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
   if (ctx.stats != nullptr) {
     ctx.stats->hash_path = true;
     ctx.stats->max_bucket = std::max(ctx.stats->max_bucket, max_chain);
+    if (bloom_on) ctx.stats->bloom = true;
   }
   uint64_t expected = 0;
   if (distinct_total > 0) {
@@ -397,9 +430,17 @@ StatusOr<JoinCoreResult> ParallelHashJoin(const Relation& a,
           }
           ++st.probe_rows;
           uint64_t h = HashKeyBytes(key);
+          if (bloom_on) {
+            ++st.bloom_checks;
+            if (!bloom.MayContain(h)) {
+              ++st.bloom_rejects;
+              continue;
+            }
+          }
           const JoinHashTable& table = tables[h >> shift];
           int32_t e = table.Find(h, key.data(),
                                  static_cast<uint32_t>(key.size()), arenas);
+          if (bloom_on && e < 0) ++st.bloom_false_positives;
           for (; e >= 0; e = table.entry(e).next) {
             s = ctx.Tick("join");
             if (!s.ok()) return control.Fail(lane, std::move(s));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "exec/bloom.h"
 #include "exec/hash_table.h"
 
 namespace gsopt::exec::internal {
@@ -219,6 +220,14 @@ struct JoinSpillState {
   const HashPlan& plan;
   Predicate residual;
   JoinCoreResult* res;
+  // Bloom-filter bookkeeping, kept here (not on ctx.stats, which may be
+  // null) and flushed once by SpillJoinCore. bloom_active records that at
+  // least one partitioning pass ran with a filter, so ProbePartition can
+  // attribute its find-misses to filter false positives.
+  bool bloom_active = false;
+  uint64_t bloom_checks = 0;
+  uint64_t bloom_rejects = 0;
+  uint64_t bloom_false_positives = 0;
 };
 
 using BuildTable = std::unordered_map<std::string, std::vector<int64_t>>;
@@ -226,9 +235,14 @@ using BuildTable = std::unordered_map<std::string, std::vector<int64_t>>;
 // Probes every probe-side row of the partition against `table` (local
 // build indices into build.rows), emitting matches with globally-indexed
 // matched flags.
+// `full_table` says the table covers the partition's whole build side, so
+// a find-miss under an active filter is attributable to a filter false
+// positive; the block-chunked fallback passes false (a row can miss one
+// chunk's table and match another).
 Status ProbePartition(JoinSpillState& s, const BuildTable& table,
                       const SpillSide& build, const Relation& probe_rel,
-                      const std::vector<int64_t>& probe_orig) {
+                      const std::vector<int64_t>& probe_orig,
+                      bool full_table) {
   OperatorStats* st = s.ctx.stats;
   const Schema& out_schema = s.res->out.schema();
   std::string key;
@@ -240,7 +254,13 @@ Status ProbePartition(JoinSpillState& s, const BuildTable& table,
     }
     if (st != nullptr) ++st->probe_rows;
     auto it = table.find(key);
-    if (it == table.end()) continue;
+    if (it == table.end()) {
+      // With a partitioning-pass filter active, every certain non-match
+      // was dropped before it reached disk; a miss here is a row the
+      // filter waved through wrongly.
+      if (s.bloom_active && full_table) ++s.bloom_false_positives;
+      continue;
+    }
     for (int64_t j : it->second) {
       GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
       Tuple t = Tuple::Concat(probe_rel.row(i), build.rows.row(j));
@@ -291,8 +311,8 @@ Status BlockChunkedJoin(JoinSpillState& s, const SpillSide& build,
       }
     }
     if (!table.empty()) {
-      GSOPT_RETURN_IF_ERROR(
-          ProbePartition(s, table, build, probe.rows, probe.orig));
+      GSOPT_RETURN_IF_ERROR(ProbePartition(s, table, build, probe.rows,
+                                           probe.orig, /*full_table=*/false));
     }
     if (st != nullptr) ++st->spill_chunks;
     start = j > start ? j : start + 1;
@@ -337,7 +357,8 @@ Status ProcessPartition(JoinSpillState& s, const SpillSide& build,
   }
   if (fits) {
     if (st != nullptr) st->build_rows += inserted;
-    return ProbePartition(s, table, build, probe.rows, probe.orig);
+    return ProbePartition(s, table, build, probe.rows, probe.orig,
+                          /*full_table=*/true);
   }
   mem.Release();
   table.clear();
@@ -370,6 +391,21 @@ Status PartitionAndProcess(JoinSpillState& s, const Relation& build_rel,
   std::vector<int64_t> pcounts(static_cast<size_t>(parts), 0);
   std::string key, scratch;
 
+  // Build-side bloom filter, pushed into probe-side partitioning: a probe
+  // row the filter rejects is a certain non-match and is never written to
+  // disk at all (its matched flag stays 0, which is exactly what the
+  // outer-join padding and GS resurrection passes need). Charged on its
+  // own reservation -- under the memory starvation that got us here the
+  // charge may fail, in which case this depth partitions filter-free.
+  BloomFilter bloom;
+  OpMemory bloom_mem(s.ctx);
+  if (s.ctx.Bloom(build_rel.NumRows(), probe_rel.NumRows()) &&
+      bloom_mem.Charge(BloomFilter::BytesFor(build_rel.NumRows()), "join-spill")
+          .ok()) {
+    bloom.Init(build_rel.NumRows());
+    s.bloom_active = true;
+  }
+
   for (int64_t j = 0; j < build_rel.NumRows(); ++j) {
     GSOPT_RETURN_IF_ERROR(s.ctx.Tick("join-spill"));
     if (!EncodeKeys(s.plan.b_keys, build_rel.row(j), build_rel.schema(),
@@ -379,6 +415,7 @@ Status PartitionAndProcess(JoinSpillState& s, const Relation& build_rel,
       if (st != nullptr && depth == 0) ++st->null_key_skips;
       continue;
     }
+    if (bloom.enabled()) bloom.Insert(HashKeyBytes(key));
     size_t p = SpillPartitionHash(key, depth) % static_cast<size_t>(parts);
     GSOPT_RETURN_IF_ERROR(WriteTupleRecord(
         &bfiles[p], build_rel.row(j), build_orig ? build_orig[j] : j,
@@ -392,12 +429,23 @@ Status PartitionAndProcess(JoinSpillState& s, const Relation& build_rel,
       if (st != nullptr && depth == 0) ++st->null_key_skips;
       continue;
     }
+    if (bloom.enabled()) {
+      ++s.bloom_checks;
+      if (!bloom.MayContain(HashKeyBytes(key))) {
+        ++s.bloom_rejects;
+        continue;
+      }
+    }
     size_t p = SpillPartitionHash(key, depth) % static_cast<size_t>(parts);
     GSOPT_RETURN_IF_ERROR(WriteTupleRecord(
         &pfiles[p], probe_rel.row(i), probe_orig ? probe_orig[i] : i,
         &scratch));
     ++pcounts[p];
   }
+  // The filter's job ends with the partitioning pass; release its bytes
+  // before the partitions are materialized and processed below.
+  bloom = BloomFilter();
+  bloom_mem.Release();
 
   for (int p = 0; p < parts; ++p) {
     // An empty side means no matches can come from this partition; the
@@ -458,6 +506,12 @@ StatusOr<JoinCoreResult> SpillJoinCore(const Relation& a, const Relation& b,
   JoinSpillState state{ctx, *ctx.spill, plan, Predicate(plan.residual), &res};
   GSOPT_RETURN_IF_ERROR(
       PartitionAndProcess(state, b, nullptr, a, nullptr, 0));
+  if (st != nullptr && state.bloom_active) {
+    st->bloom = true;
+    st->bloom_checks += state.bloom_checks;
+    st->bloom_rejects += state.bloom_rejects;
+    st->bloom_false_positives += state.bloom_false_positives;
+  }
   return res;
 }
 

@@ -16,6 +16,10 @@ void OperatorStats::MergeCountersFrom(const OperatorStats& o) {
   max_bucket = std::max(max_bucket, o.max_bucket);
   null_key_skips += o.null_key_skips;
   residual_evals += o.residual_evals;
+  bloom = bloom || o.bloom;
+  bloom_checks += o.bloom_checks;
+  bloom_rejects += o.bloom_rejects;
+  bloom_false_positives += o.bloom_false_positives;
   spilled = spilled || o.spilled;
   spill_partitions += o.spill_partitions;
   spill_bytes_written += o.spill_bytes_written;
@@ -54,6 +58,14 @@ std::string OperatorStats::ToString(int indent) const {
                   static_cast<unsigned long long>(max_bucket),
                   static_cast<unsigned long long>(null_key_skips),
                   static_cast<unsigned long long>(residual_evals));
+    line += buf;
+  }
+  if (bloom) {
+    std::snprintf(buf, sizeof(buf),
+                  " bloom{checks=%llu rejects=%llu fp=%llu}",
+                  static_cast<unsigned long long>(bloom_checks),
+                  static_cast<unsigned long long>(bloom_rejects),
+                  static_cast<unsigned long long>(bloom_false_positives));
     line += buf;
   }
   if (spilled) {

@@ -47,6 +47,16 @@ struct OperatorStats {
   uint64_t null_key_skips = 0;  // rows skipped because an equi-key was NULL
   uint64_t residual_evals = 0;  // residual-predicate evaluations
 
+  // Bloom-SIP counters (exec/bloom.h): set when the join built a
+  // build-side filter and consulted it before probe lookups (or, on the
+  // spill path, before probe rows were partitioned to disk). A reject is a
+  // definite non-match skipped without touching the table; a false
+  // positive is a filter pass that then missed the table.
+  bool bloom = false;
+  uint64_t bloom_checks = 0;
+  uint64_t bloom_rejects = 0;
+  uint64_t bloom_false_positives = 0;
+
   // Out-of-core degradation counters (exec/spill.cc): set when the memory
   // cap tripped and the operator fell back to temp-file partitioning.
   bool spilled = false;

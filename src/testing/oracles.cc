@@ -76,7 +76,9 @@ class OracleRunner {
   // is pinned OFF: the reference tuple kernels are the ground truth every
   // oracle compares against, and the columnar oracle alone turns the batch
   // paths on (otherwise kAuto would let the two kernel families silently
-  // validate each other on larger inputs).
+  // validate each other on larger inputs). Bloom filtering is pinned OFF
+  // for the same reason: the bloom oracle alone turns it on, against a
+  // ground truth that never consulted a filter.
   StatusOr<Relation> Exec(const NodePtr& n, exec::Executor* executor = nullptr) {
     ResourceBudget budget;
     budget.WithMaxRows(opt_.max_rows_per_exec);
@@ -84,6 +86,7 @@ class OracleRunner {
     eo.budget = &budget;
     eo.executor = executor;
     eo.batch = exec::BatchMode::kOff;
+    eo.bloom = exec::BloomMode::kOff;
     return Execute(n, catalog_, eo);
   }
 
@@ -119,6 +122,7 @@ class OracleRunner {
   void RunRoundTrip();
   void RunPlanCache();
   void RunColumnar();
+  void RunBloom();
   void RunChaos();
 
   const NodePtr& query_;
@@ -432,6 +436,9 @@ void OracleRunner::RunColumnar() {
     eo.spill = spill;
     eo.fault = fault;
     eo.batch = exec::BatchMode::kForce;
+    // Filter-free, so a divergence is attributable to the batch kernels
+    // alone (the bloom oracle owns the filtered trials).
+    eo.bloom = exec::BloomMode::kOff;
     GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(query_, catalog_, eo));
     if (opt_.mutate_checked_result) opt_.mutate_checked_result(&r);
     return r;
@@ -543,6 +550,154 @@ void OracleRunner::RunColumnar() {
     if (!Relation::BagEquals(baseline_, *got)) {
       Fail(OracleKind::kColumnar,
            "columnar fault seed " + std::to_string(seed) +
+               " returned success with an incorrect bag");
+      return;
+    }
+  }
+}
+
+void OracleRunner::RunBloom() {
+  ++outcome_.oracles_run;
+
+  // Forced-filter execution across every hash-join path. The baseline
+  // pinned BloomMode::kOff, so any divergence here is the filter's fault:
+  // a filter may only ever skip provably match-free work.
+  auto exec_forced = [&](exec::BatchMode batch, exec::Executor* executor,
+                         ResourceBudget* budget,
+                         const exec::SpillConfig* spill,
+                         FaultInjector* fault) -> StatusOr<Relation> {
+    ExecuteOptions eo;
+    eo.budget = budget;
+    eo.executor = executor;
+    eo.spill = spill;
+    eo.fault = fault;
+    eo.batch = batch;
+    eo.bloom = exec::BloomMode::kForce;
+    GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(query_, catalog_, eo));
+    if (opt_.mutate_checked_result) opt_.mutate_checked_result(&r);
+    return r;
+  };
+  auto check_bag = [&](const StatusOr<Relation>& got,
+                       const std::string& label) {
+    if (!got.ok()) {
+      if (Skipped(got.status())) return;
+      Fail(OracleKind::kBloom, label + " failed: " + got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kBloom,
+           label + " diverges from the filter-free result");
+    }
+  };
+
+  // Trial 1: forced filter on the serial tuple-at-a-time kernels.
+  {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(exec::BatchMode::kOff, nullptr, &budget, nullptr,
+                          nullptr),
+              "bloom (serial)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 2: forced filter on the columnar batch kernels (the streaming
+  // probe-hash must agree byte-for-byte with the materialized encoding).
+  {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(exec::BatchMode::kForce, nullptr, &budget, nullptr,
+                          nullptr),
+              "bloom (columnar)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 3: forced filter on the morsel-parallel paths (per-lane filters
+  // OR-merged between the build and probe passes).
+  {
+    exec::Executor executor(4);
+    executor.set_min_parallel_rows(1);
+    executor.set_morsel_rows(7);
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(exec::BatchMode::kAuto, &executor, &budget, nullptr,
+                          nullptr),
+              "bloom (parallel)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 4: memory-starved with spilling: the filter gates probe-side
+  // partition writes, and its own allocation failing under the squeeze
+  // must leave a correct (filter-free) out-of-core join.
+  {
+    exec::SpillConfig spill;
+    spill.enabled = true;
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    budget.WithMaxMemory(opt_.chaos_memory_bytes);
+    auto got = exec_forced(exec::BatchMode::kAuto, nullptr, &budget, &spill,
+                           nullptr);
+    if (budget.memory_charged() != 0) {
+      Fail(OracleKind::kBloom,
+           "bloom (spilling) left " + std::to_string(budget.memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return;
+    }
+    if (!got.ok()) {
+      // Same irreducible-state escape as the columnar oracle's spill trial.
+      if (got.status().code() != StatusCode::kResourceExhausted ||
+          got.status().message().find("memory cap") != std::string::npos) {
+        Fail(OracleKind::kBloom,
+             "bloom (spilling) failed: " + got.status().ToString());
+      } else {
+        ++outcome_.plans_skipped;
+      }
+      if (outcome_.failed) return;
+    } else {
+      check_bag(got, "bloom (spilling)");
+      if (outcome_.failed) return;
+    }
+  }
+
+  // Faulted trials: a fault that lands on the filter's allocation charge
+  // must degrade to a filter-free join -- success means a correct bag,
+  // failure means a clean typed error. Never a wrong answer.
+  for (int trial = 0; trial < 2; ++trial) {
+    const uint64_t seed = static_cast<uint64_t>(
+        rng_->Uniform(0, std::numeric_limits<int64_t>::max() - 1));
+    FaultInjector::Options fo;
+    fo.seed = seed;
+    fo.period = opt_.chaos_fault_period;
+    FaultInjector fault(fo);
+    exec::SpillConfig spill;
+    spill.enabled = true;
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    auto got = exec_forced(exec::BatchMode::kAuto, nullptr, &budget, &spill,
+                           &fault);
+    if (budget.memory_charged() != 0) {
+      Fail(OracleKind::kBloom,
+           "bloom fault seed " + std::to_string(seed) + " left " +
+               std::to_string(budget.memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return;
+    }
+    if (!got.ok()) {
+      const StatusCode code = got.status().code();
+      if (code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kUnavailable) {
+        continue;  // clean typed failure: the contract holds
+      }
+      Fail(OracleKind::kBloom,
+           "bloom fault seed " + std::to_string(seed) +
+               " produced an unexpected error class: " +
+               got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kBloom,
+           "bloom fault seed " + std::to_string(seed) +
                " returned success with an incorrect bag");
       return;
     }
@@ -721,6 +876,7 @@ StatusOr<OracleOutcome> OracleRunner::Run() {
   if (opt_.run_round_trip && !outcome_.failed) RunRoundTrip();
   if (opt_.run_plan_cache && !outcome_.failed) RunPlanCache();
   if (opt_.run_columnar && !outcome_.failed) RunColumnar();
+  if (opt_.run_bloom && !outcome_.failed) RunBloom();
   if (opt_.run_chaos && !outcome_.failed) RunChaos();
   return outcome_;
 }
@@ -736,6 +892,7 @@ std::string OracleKindName(OracleKind k) {
     case OracleKind::kRoundTrip: return "round-trip";
     case OracleKind::kPlanCache: return "plan-cache";
     case OracleKind::kColumnar: return "columnar";
+    case OracleKind::kBloom: return "bloom";
     case OracleKind::kChaos: return "chaos";
   }
   return "?";

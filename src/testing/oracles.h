@@ -11,6 +11,11 @@
 //  * columnar     -- forcing the batch (columnar) kernel paths -- serial,
 //                    parallel, spilling, faulted -- reproduces the
 //                    tuple-at-a-time result;
+//  * bloom        -- forcing the bloom-filter sideways-information-passing
+//                    pass (BloomMode::kForce) on every hash-join path --
+//                    serial, columnar, parallel, spilled, faulted --
+//                    reproduces the filter-free result: a filter may only
+//                    ever skip work, never change an answer;
 //  * TLP          -- partitioning any visible column c by `c <= k`,
 //                    `c > k`, `c IS NULL` and unioning the three optimized
 //                    partitions reproduces the unpartitioned result
@@ -53,6 +58,7 @@ enum class OracleKind {
   kRoundTrip,
   kPlanCache,
   kColumnar,
+  kBloom,
   kChaos,
 };
 
@@ -73,6 +79,14 @@ struct OracleOptions {
   // pins BatchMode::kOff, so the two kernel families never silently
   // validate each other.
   bool run_columnar = true;
+  // Bloom-on-vs-off differential: re-executes the query with
+  // BloomMode::kForce on every hash-join execution path (serial
+  // tuple-at-a-time, columnar, morsel-parallel, memory-starved/spilled,
+  // and under seeded fault injection, where a failed filter allocation
+  // must degrade to a filter-free join, never a wrong answer) and holds
+  // every trial to the filter-free baseline's bag. The baseline itself
+  // pins BloomMode::kOff, so a filter bug cannot validate itself.
+  bool run_bloom = true;
   // Chaos oracle (opt-in; see --chaos in tools/gsopt_fuzz): re-executes
   // the query under a starvation-level memory cap (forcing the spill
   // path), then under deterministic fault injection at every site, and

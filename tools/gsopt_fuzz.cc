@@ -54,6 +54,7 @@ int Usage() {
       "  --view-prob=P         GROUP BY view probability (default 0.5)\n"
       "  --inject-fault        mutate every checked result (self-test)\n"
       "  --no-columnar         skip the columnar-vs-tuple oracle\n"
+      "  --no-bloom            skip the bloom-filter-on-vs-off oracle\n"
       "  --chaos               run the chaos oracle (spill + fault injection)\n"
       "  --chaos-period=N      fire one injected fault per N probes (default 3)\n"
       "  --chaos-memory=BYTES  operator-state cap for spill trials (default 16384)\n"
@@ -103,6 +104,8 @@ int main(int argc, char** argv) {
       opt.oracle.chaos_trials = std::atoi(v.c_str());
     } else if (std::strcmp(argv[i], "--no-columnar") == 0) {
       opt.oracle.run_columnar = false;
+    } else if (std::strcmp(argv[i], "--no-bloom") == 0) {
+      opt.oracle.run_bloom = false;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       opt.oracle.run_chaos = true;
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
