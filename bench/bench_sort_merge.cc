@@ -1,0 +1,195 @@
+// Experiment O1 (EXPERIMENTS.md "Order-aware execution"): the external
+// sort across input dispositions (random / presorted / reverse-sorted /
+// memory-capped so it spills), the sort-merge join against the hash join
+// on presorted inputs, and the headline order-aware plan comparison: an
+// ORDER-BY-on-the-join-key query over presorted base tables executed as
+// hash-join-plus-sort-enforcer vs the DP's merge-join plan whose output
+// order discharges the ORDER BY for free (sort_enforcers_avoided > 0).
+// Input shapes mirror bench_columnar: domain rows/4+1, ~4 matches/key.
+#include <benchmark/benchmark.h>
+
+#include "report.h"
+
+#include "algebra/execute.h"
+#include "base/rng.h"
+#include "core/optimizer.h"
+#include "exec/eval.h"
+#include "exec/sort.h"
+#include "exec/spill.h"
+#include "relational/datagen.h"
+
+namespace gsopt {
+namespace {
+
+exec::SortSpec KeySpec(bool desc = false) {
+  return exec::SortSpec{{Attribute{"r1", "x"}, desc},
+                        {Attribute{"r1", "y"}, false}};
+}
+
+struct SortInputs {
+  Relation random_r, sorted_r, reverse_r;
+
+  explicit SortInputs(int64_t rows) {
+    Rng rng(417);
+    RandomRelationOptions opt;
+    opt.num_rows = rows;
+    opt.domain = rows / 4 + 1;
+    opt.null_fraction = 0.02;
+    random_r = MakeRandomRelation("r1", {"x", "y"}, opt, &rng);
+    sorted_r = *exec::Sort(random_r, KeySpec(false));
+    reverse_r = *exec::Sort(random_r, KeySpec(true));
+  }
+};
+
+void RunSort(benchmark::State& state, const Relation& input) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Sort(input, KeySpec()));
+  }
+  state.SetItemsProcessed(state.iterations() * input.NumRows());
+}
+
+void BM_SortRandom(benchmark::State& state) {
+  SortInputs in(state.range(0));
+  RunSort(state, in.random_r);
+}
+
+void BM_SortPresorted(benchmark::State& state) {
+  SortInputs in(state.range(0));
+  RunSort(state, in.sorted_r);
+}
+
+void BM_SortReverse(benchmark::State& state) {
+  SortInputs in(state.range(0));
+  RunSort(state, in.reverse_r);
+}
+
+void BM_SortSpilled(benchmark::State& state) {
+  SortInputs in(state.range(0));
+  ResourceBudget budget;
+  budget.WithMaxMemory(256 * 1024);
+  exec::SpillConfig cfg;
+  cfg.enabled = true;
+  exec::OperatorStats stats;
+  exec::ExecContext ctx;
+  ctx.budget = &budget;
+  ctx.spill = &cfg;
+  ctx.stats = &stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::Sort(in.random_r, KeySpec(), ctx));
+  }
+  state.counters["sort_runs"] = static_cast<double>(stats.sort_runs);
+  state.counters["merge_passes"] =
+      static_cast<double>(stats.sort_merge_passes);
+  state.SetItemsProcessed(state.iterations() * in.random_r.NumRows());
+}
+
+// --- joins over presorted inputs -------------------------------------
+
+// Both base tables arrive presorted by the join key, so the merge join's
+// sort phase degenerates to a verification-speed pass while the hash join
+// still pays the full build.
+struct JoinWorkload {
+  Catalog cat;
+  Predicate eq;
+  NodePtr ordered_query;  // ORDER BY r1.x over the join
+
+  explicit JoinWorkload(int64_t rows) {
+    Rng rng(418);
+    RandomRelationOptions opt;
+    opt.num_rows = rows;
+    opt.domain = rows / 4 + 1;
+    opt.null_fraction = 0.02;
+    for (const char* name : {"r1", "r2"}) {
+      Relation r = MakeRandomRelation(name, {"x", "y"}, opt, &rng);
+      exec::SortSpec by_key{{Attribute{name, "x"}, false}};
+      GSOPT_CHECK(cat.Register(name, *exec::Sort(r, by_key)).ok());
+    }
+    eq = Predicate(MakeAtom("r1", "x", CmpOp::kEq, "r2", "x"));
+    ordered_query =
+        Node::Sort(Node::Join(Node::Leaf("r1"), Node::Leaf("r2"), eq),
+                   exec::SortSpec{{Attribute{"r1", "x"}, false}});
+  }
+
+  const Relation& r1() const { return *cat.Find("r1"); }
+  const Relation& r2() const { return *cat.Find("r2"); }
+};
+
+void RunJoin(benchmark::State& state, exec::JoinStrategy js) {
+  JoinWorkload w(state.range(0));
+  exec::ExecContext ctx;
+  ctx.join = js;
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto r = exec::InnerJoin(w.r1(), w.r2(), w.eq, ctx);
+    rows = r.ok() ? r->NumRows() : -1;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HashJoinPresorted(benchmark::State& state) {
+  RunJoin(state, exec::JoinStrategy::kHashOnly);
+}
+
+void BM_MergeJoinPresorted(benchmark::State& state) {
+  RunJoin(state, exec::JoinStrategy::kMergeOnly);
+}
+
+// --- the headline: ORDER BY discharged by the merge join's order ------
+
+// Hash side: the same ordered query executed with the merge hint ignored,
+// so the kSort enforcer re-sorts the join output.
+void BM_OrderByHashThenSort(benchmark::State& state) {
+  JoinWorkload w(state.range(0));
+  ExecuteOptions xo;
+  xo.WithJoinStrategy(exec::JoinStrategy::kHashOnly);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto r = Execute(w.ordered_query, w.cat, xo);
+    rows = r.ok() ? r->NumRows() : -1;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// Merge side: the DP's order-aware pass stamps the join for sort-merge
+// (presorted inputs make it cheap) and removes the enforcer its output
+// order already delivers; counters prove both decisions happened.
+void BM_OrderByMergeOrderFree(benchmark::State& state) {
+  JoinWorkload w(state.range(0));
+  QueryOptimizer opt(w.cat);
+  auto result = opt.Optimize(w.ordered_query);
+  if (!result.ok()) {
+    state.SkipWithError(result.status().ToString().c_str());
+    return;
+  }
+  state.counters["merge_joins"] =
+      static_cast<double>(result->counters.merge_joins_chosen);
+  state.counters["sorts_avoided"] =
+      static_cast<double>(result->counters.sort_enforcers_avoided);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto r = Execute(result->best.expr, w.cat);
+    rows = r.ok() ? r->NumRows() : -1;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+#define SIZES Arg(16384)->Arg(65536)->Unit(benchmark::kMicrosecond)
+BENCHMARK(BM_SortRandom)->SIZES;
+BENCHMARK(BM_SortPresorted)->SIZES;
+BENCHMARK(BM_SortReverse)->SIZES;
+BENCHMARK(BM_SortSpilled)->SIZES;
+BENCHMARK(BM_HashJoinPresorted)->SIZES;
+BENCHMARK(BM_MergeJoinPresorted)->SIZES;
+BENCHMARK(BM_OrderByHashThenSort)->SIZES;
+BENCHMARK(BM_OrderByMergeOrderFree)->SIZES;
+
+}  // namespace
+}  // namespace gsopt
+
+GSOPT_BENCH_MAIN(bench_sort_merge);

@@ -4,6 +4,7 @@
 
 #include "exec/aggregate.h"
 #include "exec/eval.h"
+#include "exec/sort.h"
 
 namespace gsopt {
 
@@ -13,6 +14,11 @@ using Clock = std::chrono::steady_clock;
 
 std::string StatsLabel(const Node& n) {
   if (n.kind() == OpKind::kLeaf) return "scan " + n.table();
+  // Surface the physical choice in EXPLAIN ANALYZE: a join the order-aware
+  // optimizer hinted to sort-merge reads e.g. "JOIN (merge)".
+  if (n.merge_join() && IsBinary(n.kind())) {
+    return OpKindName(n.kind()) + " (merge)";
+  }
   return OpKindName(n.kind());
 }
 
@@ -62,6 +68,11 @@ StatusOr<Relation> Dispatch(const NodePtr& node, const Catalog& catalog,
           Relation child, ExecuteChild(node->left(), catalog, options, stats));
       return exec::GeneralizedProjection(child, node->groupby(), ctx);
     }
+    case OpKind::kSort: {
+      GSOPT_ASSIGN_OR_RETURN(
+          Relation child, ExecuteChild(node->left(), catalog, options, stats));
+      return exec::Sort(child, node->sort_spec(), ctx);
+    }
     default:
       break;
   }
@@ -97,9 +108,9 @@ StatusOr<Relation> ExecuteNode(const NodePtr& node, const Catalog& catalog,
   if (options.budget != nullptr) {
     GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("execute"));
   }
-  exec::ExecContext ctx{options.budget,  stats,        options.executor,
+  exec::ExecContext ctx{options.budget,  stats,         options.executor,
                         options.fault,   options.spill, options.batch,
-                        options.bloom};
+                        options.bloom,   options.join,  node->merge_join()};
   Clock::time_point start;
   if (stats != nullptr) {
     stats->op = StatsLabel(*node);

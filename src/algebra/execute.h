@@ -58,6 +58,13 @@ struct ExecuteOptions {
   // baseline); kForce always filters. Results are bag-equal across modes
   // (the bloom-vs-off oracle enforces this).
   exec::BloomMode bloom = exec::BloomMode::kAuto;
+  // Physical join-strategy policy (exec/eval.h JoinStrategy). kAuto -- the
+  // default -- follows the per-node merge hints the order-aware optimizer
+  // stamps (hash when unhinted); kHashOnly pins the hash/nested-loop paths
+  // (the differential baseline); kMergeOnly forces sort-merge joins and
+  // sort-based aggregation everywhere. Results are bag-equal across modes
+  // (the merge-vs-hash oracle enforces this); only row order may differ.
+  exec::JoinStrategy join = exec::JoinStrategy::kAuto;
 
   // Fluent builder, matching OptimizeOptions / SessionOptions idiom.
   ExecuteOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
@@ -74,6 +81,10 @@ struct ExecuteOptions {
   }
   ExecuteOptions& WithBloomMode(exec::BloomMode m) {
     bloom = m;
+    return *this;
+  }
+  ExecuteOptions& WithJoinStrategy(exec::JoinStrategy s) {
+    join = s;
     return *this;
   }
 };

@@ -43,8 +43,13 @@ std::string OneLine(const Node& n) {
       std::string s = "MGOJ[" + n.pred().ToString() + "]";
       return s;
     }
-    default:
-      return OpKindName(n.kind()) + "[" + n.pred().ToString() + "]";
+    case OpKind::kSort:
+      return "SORT[" + exec::SortSpecToString(n.sort_spec()) + "]";
+    default: {
+      std::string s = OpKindName(n.kind()) + "[" + n.pred().ToString() + "]";
+      if (n.merge_join()) s += " (merge)";
+      return s;
+    }
   }
 }
 
@@ -109,6 +114,15 @@ void RenderAnalyze(const NodePtr& n, const exec::OperatorStats& stats,
                   static_cast<unsigned long long>(stats.bloom_rejects),
                   static_cast<unsigned long long>(
                       stats.bloom_false_positives));
+    line += buf;
+  }
+  if (stats.merge_path || stats.sort_rows > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " sort{%srows=%llu runs=%llu passes=%llu}",
+                  stats.merge_path ? "merge " : "",
+                  static_cast<unsigned long long>(stats.sort_rows),
+                  static_cast<unsigned long long>(stats.sort_runs),
+                  static_cast<unsigned long long>(stats.sort_merge_passes));
     line += buf;
   }
   if (stats.spilled) {

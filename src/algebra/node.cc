@@ -57,6 +57,8 @@ std::string OpKindName(OpKind k) {
       return "MGOJ";
     case OpKind::kGroupBy:
       return "GP";
+    case OpKind::kSort:
+      return "SORT";
   }
   return "?";
 }
@@ -171,6 +173,24 @@ NodePtr Node::GroupBy(NodePtr child, exec::GroupBySpec spec) {
   return n;
 }
 
+NodePtr Node::Sort(NodePtr child, exec::SortSpec spec) {
+  GSOPT_CHECK(child != nullptr);
+  auto n = NodeBuilder::New();
+  n->kind_ = OpKind::kSort;
+  n->sort_spec_ = std::move(spec);
+  n->left_ = std::move(child);
+  return n;
+}
+
+NodePtr Node::WithMergeJoin(const NodePtr& join) {
+  GSOPT_CHECK(join != nullptr && IsBinary(join->kind_));
+  if (join->merge_join_) return join;
+  auto n = NodeBuilder::New();
+  *NodeBuilder::Mutable(n) = *join;
+  NodeBuilder::Mutable(n)->merge_join_ = true;
+  return n;
+}
+
 std::set<std::string> Node::BaseRels() const {
   std::set<std::string> out;
   if (kind_ == OpKind::kLeaf) {
@@ -232,6 +252,9 @@ std::string Node::ToString() const {
              left_->ToString() + ")";
     case OpKind::kGroupBy:
       return groupby_.ToString() + "(" + left_->ToString() + ")";
+    case OpKind::kSort:
+      return "SORT[" + exec::SortSpecToString(sort_spec_) + "](" +
+             left_->ToString() + ")";
     case OpKind::kMgoj:
       return "(" + left_->ToString() + " MGOJ[" + pred_.ToString() + "; " +
              GroupsToString(groups_) + "] " + right_->ToString() + ")";

@@ -13,6 +13,7 @@
 
 #include "exec/aggregate.h"
 #include "exec/eval.h"
+#include "exec/sort.h"
 #include "relational/expr.h"
 
 namespace gsopt {
@@ -30,6 +31,11 @@ enum class OpKind {
   kGeneralizedSelection,
   kMgoj,
   kGroupBy,
+  // Order enforcer (ORDER BY / interesting-order sorts): sorts the child
+  // by a SortSpec under the contract of exec/sort.h. Its ToString renders
+  // every key's direction, so sort direction is part of the canonical tree
+  // string and therefore of plan-cache fingerprints.
+  kSort,
 };
 
 bool IsBinary(OpKind k);
@@ -60,15 +66,26 @@ class Node {
   static NodePtr Mgoj(NodePtr l, NodePtr r, Predicate p,
                       std::vector<exec::PreservedGroup> gs);
   static NodePtr GroupBy(NodePtr child, exec::GroupBySpec spec);
+  static NodePtr Sort(NodePtr child, exec::SortSpec spec);
 
   // Generic binary factory by kind (inner/outer joins).
   static NodePtr Binary(OpKind kind, NodePtr l, NodePtr r, Predicate p);
+
+  // Copy of a binary join node with the sort-merge execution hint set (the
+  // order-aware optimizer stamps joins whose merge execution pays for
+  // itself; the interpreter forwards the hint to ExecContext::merge_hint).
+  // The hint is physical-only: it does not appear in ToString, so logical
+  // equivalence, enumeration dedup and plan-cache fingerprints are
+  // unaffected.
+  static NodePtr WithMergeJoin(const NodePtr& join);
 
   OpKind kind() const { return kind_; }
   const std::string& table() const { return table_; }
   const Predicate& pred() const { return pred_; }
   const std::vector<exec::PreservedGroup>& groups() const { return groups_; }
   const exec::GroupBySpec& groupby() const { return groupby_; }
+  const exec::SortSpec& sort_spec() const { return sort_spec_; }
+  bool merge_join() const { return merge_join_; }
   const std::vector<Attribute>& projection() const { return projection_; }
   // Output attributes for kProject; equals projection() unless renaming.
   const std::vector<Attribute>& projection_out() const {
@@ -95,6 +112,8 @@ class Node {
   Predicate pred_;
   std::vector<exec::PreservedGroup> groups_;
   exec::GroupBySpec groupby_;
+  exec::SortSpec sort_spec_;
+  bool merge_join_ = false;
   std::vector<Attribute> projection_;
   std::vector<Attribute> projection_out_;
   NodePtr left_, right_;

@@ -12,6 +12,7 @@ StatusOr<Schema> InferSchema(const NodePtr& node, const Catalog& catalog) {
     }
     case OpKind::kSelect:
     case OpKind::kGeneralizedSelection:
+    case OpKind::kSort:
       return InferSchema(node->left(), catalog);
     case OpKind::kProject: {
       GSOPT_ASSIGN_OR_RETURN(Schema child,

@@ -47,6 +47,12 @@ NodePtr Simplify(const NodePtr& node, const RelNameSet& nr) {
                  ? node
                  : Node::GeneralizedSelection(c, node->pred(), node->groups());
     }
+    case OpKind::kSort: {
+      // Sorting preserves rows 1:1, so null-rejection from above transfers
+      // straight through.
+      NodePtr c = Simplify(node->left(), nr);
+      return c == node->left() ? node : Node::Sort(c, node->sort_spec());
+    }
     case OpKind::kProject:
     case OpKind::kGroupBy: {
       // These do not reject nulls; recurse with an empty rejection set

@@ -1,6 +1,7 @@
 #include "core/optimizer.h"
 
 #include "hypergraph/querygraph.h"
+#include "optimizer/order.h"
 
 namespace gsopt {
 
@@ -35,6 +36,12 @@ std::string OptimizerCounters::ToString() const {
                   " dp_cells=" + std::to_string(dp_cells) +
                   " dp_pruned=" + std::to_string(dp_pruned) +
                   " plans_considered=" + std::to_string(plans_considered);
+  if (merge_joins_chosen + sort_enforcers_placed + sort_enforcers_avoided >
+      0) {
+    s += " merge_joins=" + std::to_string(merge_joins_chosen) +
+         " sorts_placed=" + std::to_string(sort_enforcers_placed) +
+         " sorts_avoided=" + std::to_string(sort_enforcers_avoided);
+  }
   if (deadline_slack_us >= 0) {
     s += " deadline_slack_us=" + std::to_string(deadline_slack_us);
   }
@@ -81,6 +88,18 @@ StatusOr<PlanSpace> QueryOptimizer::EnumeratePlanSpace(
   if (query == nullptr) return Status::InvalidArgument("null query");
   if (options.budget != nullptr) {
     GSOPT_RETURN_IF_ERROR(options.budget->CheckDeadlineNow("optimize"));
+  }
+  // Reorder below a root ORDER BY (the binder emits Project(Sort(...));
+  // the sort is an enforcer over whatever plan wins, so the plan space is
+  // the child's with the enforcer re-applied).
+  if (query->kind() == OpKind::kSort) {
+    GSOPT_ASSIGN_OR_RETURN(PlanSpace inner,
+                           EnumeratePlanSpace(query->left(), options));
+    for (PlanInfo& p : inner.plans) {
+      p.expr = Node::Sort(p.expr, query->sort_spec());
+      p.cost = cost_model_.Cost(p.expr);
+    }
+    return inner;
   }
   // Reorder below a root projection (the SQL binder's output shape), then
   // re-apply it on every plan.
@@ -167,8 +186,20 @@ StatusOr<OptimizeResult> QueryOptimizer::Optimize(
   DegradationReport& deg = result.degradation;
   deg.requested = RungOf(options.mode);
   deg.rung = deg.requested;
-  // Deadline slack is whatever remains when the winning rung returns.
-  auto finish_counters = [&result, &options]() {
+  // Runs once on the winning plan: the order-aware physical pass (merge
+  // hints, redundant-enforcer removal), then the counter fill. Deadline
+  // slack is whatever remains when the winning rung returns.
+  auto finish_counters = [this, &result, &options]() {
+    OrderPassCounters oc;
+    NodePtr tuned = ApplyOrderAwarePass(result.best.expr, cost_model_.stats(),
+                                        options.assume_ordered_exec, &oc);
+    if (tuned != result.best.expr) {
+      result.best.expr = tuned;
+      result.best.cost = cost_model_.Cost(tuned);
+    }
+    result.counters.merge_joins_chosen = oc.merge_joins_chosen;
+    result.counters.sort_enforcers_placed = oc.sort_enforcers_placed;
+    result.counters.sort_enforcers_avoided = oc.sort_enforcers_avoided;
     result.counters.plans_considered = result.plans_considered;
     if (options.budget != nullptr && options.budget->has_deadline()) {
       result.counters.deadline_slack_us =

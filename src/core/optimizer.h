@@ -64,6 +64,14 @@ struct OptimizeOptions {
   // When the budget is exhausted mid-search, descend the fallback ladder
   // instead of failing. Disable to surface Status(kResourceExhausted).
   bool fallback = true;
+  // The winning plan will execute serially with merge hints honored
+  // (JoinStrategy kAuto or kMergeOnly), so the order-aware pass may remove
+  // kSort enforcers whose order the subtree already delivers. MUST be
+  // false when the plan may run on a parallel executor (morsel kernels do
+  // not preserve row order) or with JoinStrategy::kHashOnly (the merge
+  // hint is ignored and hash order comes out). Merge-hint stamping on
+  // presorted inputs happens regardless of this flag.
+  bool assume_ordered_exec = true;
 
   // Fluent builder (the serving API spells options this way; see
   // core/session.h). Aggregate initialization keeps working for old code.
@@ -73,6 +81,10 @@ struct OptimizeOptions {
   OptimizeOptions& WithMaxPlans(size_t n) { max_plans = n; return *this; }
   OptimizeOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
   OptimizeOptions& WithFallback(bool b) { fallback = b; return *this; }
+  OptimizeOptions& WithAssumeOrderedExec(bool b) {
+    assume_ordered_exec = b;
+    return *this;
+  }
 };
 
 struct PlanInfo {
@@ -88,6 +100,12 @@ struct OptimizerCounters {
   size_t dp_cells = 0;             // DP table cells stored
   size_t dp_pruned = 0;            // subplans discarded by cost pruning
   size_t plans_considered = 0;     // complete candidate plans costed
+  // Order-aware physical pass (optimizer/order.h) on the winning plan:
+  // inner joins stamped for sort-merge execution, and ORDER BY enforcers
+  // kept vs removed because an interesting order already delivered them.
+  size_t merge_joins_chosen = 0;
+  size_t sort_enforcers_placed = 0;
+  size_t sort_enforcers_avoided = 0;
   // Slack left on the budget's deadline when optimization returned;
   // negative when no deadline was set.
   int64_t deadline_slack_us = -1;

@@ -88,14 +88,22 @@ NodePtr RewriteNode(const NodePtr& n, const ScalarFn& fn) {
                         n->groups());
     case OpKind::kGroupBy:
       return Node::GroupBy(std::move(left), std::move(spec));
+    case OpKind::kSort:
+      return Node::Sort(std::move(left), n->sort_spec());
     case OpKind::kInnerJoin:
     case OpKind::kLeftOuterJoin:
     case OpKind::kRightOuterJoin:
     case OpKind::kFullOuterJoin:
     case OpKind::kAntiJoin:
-    case OpKind::kSemiJoin:
-      return Node::Binary(n->kind(), std::move(left), std::move(right),
-                          std::move(pred));
+    case OpKind::kSemiJoin: {
+      NodePtr out = Node::Binary(n->kind(), std::move(left), std::move(right),
+                                 std::move(pred));
+      // Cached plan templates are post-optimization trees: the physical
+      // merge hint must survive parameter substitution, or a cache hit
+      // would silently fall back to hash order (breaking any enforcer the
+      // order-aware pass removed on the hint's strength).
+      return n->merge_join() ? Node::WithMergeJoin(out) : out;
+    }
   }
   GSOPT_CHECK(false);  // exhaustive switch
   return n;

@@ -66,7 +66,16 @@ StatusOr<NodePtr> PreparedStatement::ExecutablePlan(
 Session::Session(const Catalog& catalog, SessionOptions options)
     : catalog_(catalog),
       options_(std::move(options)),
-      cache_(options_.plan_cache_capacity, options_.plan_cache_shards) {}
+      cache_(options_.plan_cache_capacity, options_.plan_cache_shards) {
+  // The order-aware pass may only remove ORDER BY enforcers when the plans
+  // this session serves will execute in row order with merge hints
+  // honored: serial kernels (parallel morsels permute rows) and a join
+  // strategy that takes the merge path (kHashOnly ignores the hint).
+  if ((options_.exec.executor != nullptr && options_.exec.executor->lanes() > 1) ||
+      options_.exec.join == exec::JoinStrategy::kHashOnly) {
+    options_.optimize.assume_ordered_exec = false;
+  }
+}
 
 uint64_t Session::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -107,7 +116,8 @@ std::string Session::KeyCanonical(const std::string& tree_canonical) const {
          std::to_string(static_cast<int>(o.mode)) +
          " prune=" + std::to_string(o.prune ? 1 : 0) +
          " simplify=" + std::to_string(o.simplify ? 1 : 0) +
-         " max_plans=" + std::to_string(o.max_plans);
+         " max_plans=" + std::to_string(o.max_plans) +
+         " ordered=" + std::to_string(o.assume_ordered_exec ? 1 : 0);
 }
 
 uint64_t Session::PublishPlan(const std::shared_ptr<const CachedPlan>& plan,

@@ -125,6 +125,10 @@ struct SessionOptions {
     exec.bloom = m;
     return *this;
   }
+  SessionOptions& WithJoinStrategy(exec::JoinStrategy s) {
+    exec.join = s;
+    return *this;
+  }
   SessionOptions& WithRetries(int n) { max_transient_retries = n; return *this; }
   SessionOptions& WithRetryBackoff(std::chrono::microseconds b) {
     retry_backoff = b;

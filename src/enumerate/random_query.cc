@@ -102,6 +102,35 @@ struct VisibleCol {
   bool is_agg = false;
 };
 
+// With probability options.order_by_prob, wraps `root` in a root ORDER BY
+// over one or two distinct columns drawn from `candidates`, each with an
+// independently drawn direction. The enforcer goes at the very top so the
+// generated tree matches the binder's shape for an outermost ORDER BY.
+NodePtr MaybeOrderBy(NodePtr root, const std::vector<Attribute>& candidates,
+                     const RandomQueryOptions& options, Rng* rng,
+                     RandomQueryFeatures* features) {
+  if (candidates.empty() || !rng->Bernoulli(options.order_by_prob)) {
+    return root;
+  }
+  exec::SortSpec spec;
+  const size_t want = rng->Bernoulli(0.35) ? 2 : 1;
+  for (size_t k = 0; k < want; ++k) {
+    exec::SortKey key;
+    key.attr = candidates[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(candidates.size()) - 1))];
+    key.desc = rng->Bernoulli(0.4);
+    bool dup = false;
+    for (const exec::SortKey& prev : spec) {
+      if (prev.attr == key.attr) dup = true;
+    }
+    if (dup) continue;  // a repeated key adds nothing to the order
+    if (features != nullptr && key.desc) features->has_desc_key = true;
+    spec.push_back(std::move(key));
+  }
+  if (features != nullptr) features->has_order_by = true;
+  return Node::Sort(std::move(root), std::move(spec));
+}
+
 }  // namespace
 
 NodePtr MakeRandomQuery(const RandomQueryOptions& options, Rng* rng,
@@ -114,7 +143,14 @@ NodePtr MakeRandomQuery(const RandomQueryOptions& options, Rng* rng,
   std::vector<int> rels;
   for (int i = 1; i <= options.num_rels; ++i) rels.push_back(i);
   Builder b{options, rng, features};
-  return b.Build(std::move(rels));
+  NodePtr root = b.Build(std::move(rels));
+  std::vector<Attribute> candidates;
+  for (int i = 1; i <= options.num_rels; ++i) {
+    for (int c = 0; c < options.num_cols; ++c) {
+      candidates.push_back(Attribute{"r" + std::to_string(i), ColName(c)});
+    }
+  }
+  return MaybeOrderBy(std::move(root), candidates, options, rng, features);
 }
 
 NodePtr MakeGeneralRandomQuery(const RandomQueryOptions& options, Rng* rng,
@@ -238,7 +274,9 @@ NodePtr MakeGeneralRandomQuery(const RandomQueryOptions& options, Rng* rng,
       visible.push_back(VisibleCol{Attribute{rel, ColName(c)}, false});
     }
   }
-  return acc;
+  std::vector<Attribute> candidates;
+  for (const VisibleCol& vc : visible) candidates.push_back(vc.attr);
+  return MaybeOrderBy(std::move(acc), candidates, options, rng, features);
 }
 
 }  // namespace gsopt

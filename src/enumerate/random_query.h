@@ -45,6 +45,13 @@ struct RandomQueryOptions {
   // (`x < 2 * v.agg`, the paper's Example 2.1 / `V2.QTY < 2 * V3.CNT`
   // shape).
   double agg_arith_prob = 0.3;
+
+  // --- ordering extensions (ORDER BY / the kSort enforcer) ---
+  // Probability the query is wrapped in a root ORDER BY (Node::Sort) over
+  // one or two visible columns with independently drawn ASC/DESC
+  // directions; in the view case the aggregate output column is a
+  // candidate key.
+  double order_by_prob = 0.0;
 };
 
 // What one generated query actually contains; the fuzz driver aggregates
@@ -56,6 +63,8 @@ struct RandomQueryFeatures {
   bool has_dup_pair = false;      // a predicate repeats a column pair
   bool has_complex_pred = false;  // a predicate references > 2 relations
   bool has_outer_join = false;    // at least one LOJ/ROJ/FOJ
+  bool has_order_by = false;      // a root ORDER BY (kSort) is present
+  bool has_desc_key = false;      // ...with at least one DESC key
   int num_rels = 0;
 };
 

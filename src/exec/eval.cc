@@ -23,6 +23,7 @@ using internal::HashPlan;
 using internal::IndexGroup;
 using internal::JoinCoreResult;
 using internal::MakeHashPlan;
+using internal::MergeJoinCore;
 using internal::PadGroupTuple;
 
 namespace {
@@ -30,6 +31,19 @@ namespace {
 StatusOr<JoinCoreResult> JoinCore(const Relation& a, const Relation& b,
                                   const Predicate& p, const ExecContext& ctx) {
   HashPlan plan = MakeHashPlan(p, a.schema(), b.schema());
+  if (plan.usable() && ctx.MergeJoin()) {
+    // Forced or hinted sort-merge path. Residual conjuncts are evaluated
+    // per candidate pair exactly like the hash path; rows with NULL keys
+    // never match. Without usable equi-keys there is nothing to merge on,
+    // so the strategy falls through to the nested-loop path below (hash
+    // cannot run either).
+    auto merged = MergeJoinCore(a, b, plan, ctx);
+    if (merged.ok() && ctx.stats != nullptr) {
+      ctx.stats->rows_in += static_cast<uint64_t>(a.NumRows()) +
+                            static_cast<uint64_t>(b.NumRows());
+    }
+    return merged;
+  }
   if (ctx.Parallel(std::max(a.NumRows(), b.NumRows()))) {
     return internal::ParallelJoinCore(a, b, plan, p, ctx);
   }
@@ -506,7 +520,7 @@ StatusOr<Relation> GeneralizedSelection(
   // stats node: GS accounts for its own input/output exactly once and
   // counts the pass's predicate evaluations itself.
   ExecContext select_ctx{ctx.budget, nullptr,   ctx.executor, ctx.fault,
-                         ctx.spill,  ctx.batch, ctx.bloom};
+                         ctx.spill,  ctx.batch, ctx.bloom,    ctx.join};
   GSOPT_ASSIGN_OR_RETURN(Relation selected, Select(r, p, select_ctx));
   RecordIn(ctx, static_cast<uint64_t>(r.NumRows()));
   if (ctx.stats != nullptr) {

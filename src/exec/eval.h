@@ -67,6 +67,15 @@ enum class BatchMode : uint8_t { kAuto = 0, kOff = 1, kForce = 2 };
 // tests keep the reference kernels' row order.
 inline constexpr int64_t kMinColumnarRows = 128;
 
+// Physical join-strategy policy. kAuto follows the per-node hints the
+// order-aware optimizer pass stamps on join nodes (hash when unhinted);
+// kHashOnly pins every join to the hash/nested-loop paths (the
+// differential-testing baseline); kMergeOnly forces the sort-merge path on
+// every join with usable equi-keys -- and routes aggregation through the
+// sort-based feed -- so the merge-vs-hash oracle can exercise the whole
+// sort-based stack on any query.
+enum class JoinStrategy : uint8_t { kAuto = 0, kHashOnly = 1, kMergeOnly = 2 };
+
 // Per-invocation execution context threaded into every kernel. Default
 // constructed it is a no-op (unlimited budget, no stats), so direct kernel
 // calls in tests and benches stay terse.
@@ -95,6 +104,12 @@ struct ExecContext {
   // cardinality ratio; kOff pins every join filter-free; kForce always
   // builds the filter when a hash path runs.
   BloomMode bloom = BloomMode::kAuto;
+  // Physical join-strategy policy (see JoinStrategy above).
+  JoinStrategy join = JoinStrategy::kAuto;
+  // Per-node hint from the plan: the order-aware optimizer marks join
+  // nodes whose sort-merge execution pays for itself (interesting orders);
+  // the interpreter copies the mark here. Only consulted under kAuto.
+  bool merge_hint = false;
 
   Status ChargeRows(uint64_t n, const char* stage) const {
     if (budget == nullptr) return Status::OK();
@@ -138,6 +153,16 @@ struct ExecContext {
   bool Bloom(int64_t build_rows, int64_t probe_rows) const {
     return BloomEligible(bloom, build_rows, probe_rows);
   }
+  // True when a join with usable equi-keys should take the sort-merge
+  // path (exec/sort.cc MergeJoinCore) instead of the hash paths.
+  bool MergeJoin() const {
+    if (join == JoinStrategy::kMergeOnly) return true;
+    if (join == JoinStrategy::kHashOnly) return false;
+    return merge_hint;
+  }
+  // True when aggregation should take the sort-based feed: kMergeOnly
+  // pins the whole sort-based stack for differential testing.
+  bool SortedAggregation() const { return join == JoinStrategy::kMergeOnly; }
 };
 
 // MemoryReservation bound to an ExecContext: charges probe the alloc fault

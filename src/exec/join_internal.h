@@ -147,6 +147,18 @@ Status ParallelGsResurrect(const Relation& r, const GroupIndex& gi,
                            const std::unordered_set<std::string>& surviving,
                            Relation* out, const ExecContext& ctx);
 
+// Sort-merge twin of the hash JoinCore (exec/sort.cc): sorts both sides by
+// their equi-key values (key-class comparator, so the equality partition
+// is exactly the hash path's) and merges equal-key blocks, evaluating
+// residual conjuncts per candidate pair. Rows whose key encodes NULL never
+// match, like EncodeKeys' skip. Requires plan.usable(). Matched inner rows
+// are emitted in ascending key order, which is what lets the order-aware
+// optimizer claim the join's output order. Degrades to external key-sorted
+// runs when the memory cap trips and spilling is enabled.
+StatusOr<JoinCoreResult> MergeJoinCore(const Relation& a, const Relation& b,
+                                       const HashPlan& plan,
+                                       const ExecContext& ctx);
+
 }  // namespace gsopt::exec::internal
 
 #endif  // GSOPT_EXEC_JOIN_INTERNAL_H_

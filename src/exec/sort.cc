@@ -1,0 +1,575 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "base/spill_file.h"
+#include "exec/join_internal.h"
+#include "exec/keys.h"
+#include "exec/spill.h"
+
+namespace gsopt::exec {
+
+namespace {
+
+using internal::ApproxTupleBytes;
+using internal::HashPlan;
+using internal::JoinCoreResult;
+using internal::ReadTupleRecord;
+using internal::WriteTupleRecord;
+
+// Maximum spilled runs merged at once. Past this the external sort takes
+// an extra pass (merge kMergeFanIn runs into one, repeat), so the final
+// streaming merge holds a bounded number of head tuples.
+constexpr size_t kMergeFanIn = 8;
+
+// Exact comparison of an int64 against a double. Routing the int through
+// a double cast (as SQL comparison does) is fine for 3VL predicates but is
+// NOT a strict weak ordering past 2^53: int(2^53+1) casts to 2^53, making
+// it "equal" to double(2^53) while int-int comparison orders it after
+// int(2^53) -- an intransitivity std::sort may turn into UB. The sort path
+// therefore compares exactly: NaN stays greatest (CompareDoubles rule).
+int CompareIntDouble(int64_t i, double d) {
+  if (std::isnan(d)) return -1;
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63
+  if (d >= kTwo63) return -1;
+  if (d < -kTwo63) return 1;
+  double fd = std::floor(d);
+  int64_t di = static_cast<int64_t>(fd);  // |fd| <= 2^63 - 1 after guards
+  if (i != di) return i < di ? -1 : 1;
+  return d > fd ? -1 : 0;  // equal integer part: a fraction makes d larger
+}
+
+}  // namespace
+
+std::string SortSpecToString(const SortSpec& spec) {
+  std::string s;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i) s += ", ";
+    s += spec[i].ToString();
+  }
+  return s;
+}
+
+int CompareValuesTotal(const Value& a, const Value& b) {
+  auto rank = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(a), rb = rank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // NULL == NULL, lowest
+  if (ra == 1) {
+    bool ai = a.type() == ValueType::kInt, bi = b.type() == ValueType::kInt;
+    if (ai && bi) {
+      int64_t x = a.AsInt(), y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    if (ai) return CompareIntDouble(a.AsInt(), b.AsDouble());
+    if (bi) return -CompareIntDouble(b.AsInt(), a.AsDouble());
+    return CompareDoubles(a.AsDouble(), b.AsDouble());
+  }
+  int c = a.AsString().compare(b.AsString());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+int CompareValuesKeyClass(const Value& a, const Value& b) {
+  int c = CompareValuesTotal(a, b);
+  if (c != 0) return c;
+  // Equal by value. The hash paths' key classes are finer in one corner:
+  // an int64 and a double that agree numerically past the 2^53 exact range
+  // encode to distinct keys. Order such pairs by their encodings so the
+  // merge join's equality partition is exactly AppendValueKey's.
+  std::string ka, kb;
+  AppendValueKey(a, &ka);
+  AppendValueKey(b, &kb);
+  c = ka.compare(kb);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+namespace {
+
+// One row staged for sorting: the tuple, its evaluated key values and its
+// original index in the input relation (stability tie-break; the merge
+// join's globally-indexed matched bitmaps).
+struct Keyed {
+  Tuple t;
+  std::vector<Value> keys;
+  int64_t orig = 0;
+};
+
+// Fills `keys` from a tuple; returning false drops the row from the
+// stream (the merge join's NULL-key skip; the Sort operator keeps all).
+using KeyFn = std::function<bool(const Tuple&, std::vector<Value>*)>;
+
+struct KeyCmp {
+  const std::vector<char>* desc = nullptr;  // null = all ascending
+  bool key_class = false;
+
+  int Compare(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t k = 0; k < n; ++k) {
+      int c = key_class ? CompareValuesKeyClass(a[k], b[k])
+                        : CompareValuesTotal(a[k], b[k]);
+      if (desc != nullptr && (*desc)[k]) c = -c;
+      if (c != 0) return c;
+    }
+    return 0;
+  }
+  // Strict weak ordering with input-order tie-break: stable no matter how
+  // rows moved between spilled runs.
+  bool Less(const Keyed& x, const Keyed& y) const {
+    int c = Compare(x.keys, y.keys);
+    if (c != 0) return c < 0;
+    return x.orig < y.orig;
+  }
+};
+
+uint64_t KeyedBytes(const Keyed& k) {
+  return ApproxTupleBytes(k.t) + 24 * static_cast<uint64_t>(k.keys.size()) +
+         48;
+}
+
+// Produces a relation's rows in sorted order. In-memory when the staged
+// rows fit the budget; otherwise sorted SpillFile runs merged with bounded
+// fan-in. Single-threaded, local to one operator invocation, so every run
+// file is destroyed (LiveCount back to zero) before the operator returns.
+class SortedStream {
+ public:
+  SortedStream(const Relation& src, KeyFn key_fn, KeyCmp cmp,
+               const ExecContext& ctx, const char* stage)
+      : src_(src),
+        key_fn_(std::move(key_fn)),
+        cmp_(cmp),
+        ctx_(ctx),
+        stage_(stage),
+        mem_(ctx) {}
+
+  Status Init() {
+    std::vector<Keyed> buf;
+    for (int64_t i = 0; i < src_.NumRows(); ++i) {
+      GSOPT_RETURN_IF_ERROR(ctx_.Tick(stage_));
+      Keyed k;
+      if (!key_fn_(src_.row(i), &k.keys)) {
+        ++skipped_;
+        continue;
+      }
+      k.t = src_.row(i);
+      k.orig = i;
+      Status cs = mem_.Charge(KeyedBytes(k), stage_);
+      if (!cs.ok()) {
+        // The staged rows no longer fit (or an alloc fault fired). With
+        // spilling enabled, flush what we have as a sorted run and keep
+        // going with an empty buffer; otherwise surface the trip.
+        if (!ctx_.SpillEnabled()) return cs;
+        GSOPT_RETURN_IF_ERROR(FlushRun(&buf));
+        GSOPT_RETURN_IF_ERROR(mem_.Charge(KeyedBytes(k), stage_));
+      }
+      buf.push_back(std::move(k));
+      ++rows_;
+    }
+    if (runs_.empty()) {
+      auto less = [this](const Keyed& x, const Keyed& y) {
+        return cmp_.Less(x, y);
+      };
+      // Presorted-input short-circuit: one linear scan instead of the full
+      // comparison sort. This is what makes a merge join over an already
+      // ordered input cheap (the optimizer's interesting-order pass counts
+      // on it).
+      if (!std::is_sorted(buf.begin(), buf.end(), less)) {
+        std::stable_sort(buf.begin(), buf.end(), less);
+      }
+      mem_entries_ = std::move(buf);
+      return Status::OK();
+    }
+    if (!buf.empty()) GSOPT_RETURN_IF_ERROR(FlushRun(&buf));
+    GSOPT_RETURN_IF_ERROR(MergeToFanIn());
+    return LoadHeads();
+  }
+
+  // Moves the next row out of the stream. *ok = false when exhausted.
+  Status Next(Keyed* row, bool* ok) {
+    if (runs_.empty()) {
+      if (pos_ >= mem_entries_.size()) {
+        *ok = false;
+        return Status::OK();
+      }
+      *row = std::move(mem_entries_[pos_++]);
+      *ok = true;
+      return Status::OK();
+    }
+    size_t best = heads_.size();
+    for (size_t r = 0; r < heads_.size(); ++r) {
+      if (!head_live_[r]) continue;
+      if (best == heads_.size() || cmp_.Less(heads_[r], heads_[best])) {
+        best = r;
+      }
+    }
+    if (best == heads_.size()) {
+      *ok = false;
+      return Status::OK();
+    }
+    *row = std::move(heads_[best]);
+    GSOPT_RETURN_IF_ERROR(Advance(best));
+    *ok = true;
+    return Status::OK();
+  }
+
+  // Collects the next maximal block of key-equal rows (in stable order).
+  // Empty block = exhausted. Block bytes are charged against `block_mem`.
+  Status NextBlock(std::vector<Keyed>* block, OpMemory* block_mem) {
+    block->clear();
+    if (!pending_valid_) {
+      GSOPT_RETURN_IF_ERROR(Next(&pending_, &pending_valid_));
+      if (!pending_valid_) return Status::OK();
+    }
+    GSOPT_RETURN_IF_ERROR(block_mem->Charge(KeyedBytes(pending_), stage_));
+    block->push_back(std::move(pending_));
+    pending_valid_ = false;
+    for (;;) {
+      GSOPT_RETURN_IF_ERROR(Next(&pending_, &pending_valid_));
+      if (!pending_valid_) return Status::OK();
+      if (cmp_.Compare(pending_.keys, block->front().keys) != 0) {
+        return Status::OK();  // pending_ starts the next block
+      }
+      GSOPT_RETURN_IF_ERROR(block_mem->Charge(KeyedBytes(pending_), stage_));
+      block->push_back(std::move(pending_));
+      pending_valid_ = false;
+    }
+  }
+
+  uint64_t rows() const { return rows_; }
+  uint64_t skipped() const { return skipped_; }
+  uint64_t total_runs() const { return total_runs_; }
+  uint64_t merge_passes() const { return merge_passes_; }
+  bool external() const { return total_runs_ > 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  struct Run {
+    SpillFile file;
+    int64_t count = 0;   // records in the file
+    int64_t cursor = 0;  // records consumed
+  };
+
+  Status FlushRun(std::vector<Keyed>* buf) {
+    std::stable_sort(buf->begin(), buf->end(),
+                     [this](const Keyed& x, const Keyed& y) {
+                       return cmp_.Less(x, y);
+                     });
+    GSOPT_ASSIGN_OR_RETURN(
+        SpillFile f, SpillFile::Create(SpillDir(), ctx_.fault));
+    Run run{std::move(f), 0, 0};
+    std::string scratch;
+    for (const Keyed& k : *buf) {
+      GSOPT_RETURN_IF_ERROR(
+          WriteTupleRecord(&run.file, k.t, k.orig, &scratch));
+      ++run.count;
+    }
+    bytes_written_ += run.file.bytes_written();
+    runs_.push_back(std::move(run));
+    ++total_runs_;
+    buf->clear();
+    mem_.Release();
+    return Status::OK();
+  }
+
+  std::string SpillDir() const {
+    return ctx_.spill != nullptr ? ctx_.spill->dir : std::string();
+  }
+
+  // Reads the next record of run r into *k (keys re-evaluated; the key fn
+  // is pure, and rows were filtered before being written).
+  Status ReadOne(Run* r, Keyed* k) {
+    GSOPT_RETURN_IF_ERROR(ReadTupleRecord(&r->file, &k->t, &k->orig));
+    ++r->cursor;
+    k->keys.clear();
+    key_fn_(k->t, &k->keys);
+    return Status::OK();
+  }
+
+  // Merges groups of kMergeFanIn runs into single runs until at most
+  // kMergeFanIn remain for the final streaming merge.
+  Status MergeToFanIn() {
+    while (runs_.size() > kMergeFanIn) {
+      ++merge_passes_;
+      std::vector<Run> next;
+      for (size_t base = 0; base < runs_.size(); base += kMergeFanIn) {
+        size_t end = std::min(runs_.size(), base + kMergeFanIn);
+        if (end - base == 1) {
+          next.push_back(std::move(runs_[base]));
+          continue;
+        }
+        std::vector<Keyed> heads(end - base);
+        std::vector<char> live(end - base, 0);
+        for (size_t r = base; r < end; ++r) {
+          GSOPT_RETURN_IF_ERROR(runs_[r].file.Rewind());
+          if (runs_[r].count > 0) {
+            GSOPT_RETURN_IF_ERROR(ReadOne(&runs_[r], &heads[r - base]));
+            live[r - base] = 1;
+          }
+        }
+        GSOPT_ASSIGN_OR_RETURN(
+            SpillFile f, SpillFile::Create(SpillDir(), ctx_.fault));
+        Run merged{std::move(f), 0, 0};
+        std::string scratch;
+        for (;;) {
+          GSOPT_RETURN_IF_ERROR(ctx_.Tick(stage_));
+          size_t best = heads.size();
+          for (size_t h = 0; h < heads.size(); ++h) {
+            if (!live[h]) continue;
+            if (best == heads.size() || cmp_.Less(heads[h], heads[best])) {
+              best = h;
+            }
+          }
+          if (best == heads.size()) break;
+          GSOPT_RETURN_IF_ERROR(WriteTupleRecord(
+              &merged.file, heads[best].t, heads[best].orig, &scratch));
+          ++merged.count;
+          Run& src = runs_[base + best];
+          if (src.cursor < src.count) {
+            GSOPT_RETURN_IF_ERROR(ReadOne(&src, &heads[best]));
+          } else {
+            live[best] = 0;
+            bytes_read_ += src.file.bytes_read();
+            src.file.Discard();
+          }
+        }
+        bytes_written_ += merged.file.bytes_written();
+        next.push_back(std::move(merged));
+      }
+      runs_ = std::move(next);
+    }
+    return Status::OK();
+  }
+
+  Status LoadHeads() {
+    heads_.resize(runs_.size());
+    head_live_.assign(runs_.size(), 0);
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      GSOPT_RETURN_IF_ERROR(runs_[r].file.Rewind());
+      runs_[r].cursor = 0;
+      if (runs_[r].count > 0) {
+        GSOPT_RETURN_IF_ERROR(ReadOne(&runs_[r], &heads_[r]));
+        head_live_[r] = 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Advance(size_t r) {
+    Run& run = runs_[r];
+    if (run.cursor < run.count) {
+      return ReadOne(&run, &heads_[r]);
+    }
+    head_live_[r] = 0;
+    bytes_read_ += run.file.bytes_read();
+    run.file.Discard();
+    return Status::OK();
+  }
+
+  const Relation& src_;
+  KeyFn key_fn_;
+  KeyCmp cmp_;
+  const ExecContext& ctx_;
+  const char* stage_;
+  OpMemory mem_;
+
+  std::vector<Keyed> mem_entries_;
+  size_t pos_ = 0;
+
+  std::vector<Run> runs_;
+  std::vector<Keyed> heads_;
+  std::vector<char> head_live_;
+
+  Keyed pending_;
+  bool pending_valid_ = false;
+
+  uint64_t rows_ = 0;
+  uint64_t skipped_ = 0;
+  uint64_t total_runs_ = 0;
+  uint64_t merge_passes_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+void FlushStreamStats(const SortedStream& s, OperatorStats* st) {
+  if (st == nullptr) return;
+  st->sort_runs += s.total_runs();
+  st->sort_merge_passes += s.merge_passes();
+  if (s.external()) {
+    st->spilled = true;
+    st->spill_bytes_written += s.bytes_written();
+    st->spill_bytes_read += s.bytes_read();
+  }
+}
+
+}  // namespace
+
+StatusOr<Relation> Sort(const Relation& r, const SortSpec& spec,
+                        const ExecContext& ctx) {
+  std::vector<int> idx;
+  std::vector<char> desc;
+  for (const SortKey& k : spec) {
+    int i = r.schema().Find(k.attr.rel, k.attr.name);
+    if (i < 0) {
+      return Status::InvalidArgument("sort: missing attribute " +
+                                     k.attr.Qualified());
+    }
+    idx.push_back(i);
+    desc.push_back(k.desc ? 1 : 0);
+  }
+  OperatorStats* st = ctx.stats;
+  if (st != nullptr) {
+    st->rows_in += static_cast<uint64_t>(r.NumRows());
+    st->sort_rows += static_cast<uint64_t>(r.NumRows());
+  }
+  KeyFn key_fn = [&idx](const Tuple& t, std::vector<Value>* keys) {
+    keys->reserve(idx.size());
+    for (int i : idx) keys->push_back(t.values[i]);
+    return true;
+  };
+  KeyCmp cmp{&desc, /*key_class=*/false};
+  SortedStream stream(r, key_fn, cmp, ctx, "sort");
+  GSOPT_RETURN_IF_ERROR(stream.Init());
+
+  Relation out(r.schema(), r.vschema());
+  out.Reserve(r.NumRows());
+  for (;;) {
+    Keyed k;
+    bool ok = false;
+    GSOPT_RETURN_IF_ERROR(stream.Next(&k, &ok));
+    if (!ok) break;
+    out.Add(std::move(k.t));
+    GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "sort"));
+  }
+  FlushStreamStats(stream, st);
+  if (st != nullptr) st->rows_out += static_cast<uint64_t>(out.NumRows());
+  return out;
+}
+
+Status CheckSorted(const Relation& r, const SortSpec& spec) {
+  std::vector<int> idx;
+  std::vector<char> desc;
+  for (const SortKey& k : spec) {
+    int i = r.schema().Find(k.attr.rel, k.attr.name);
+    if (i < 0) {
+      return Status::InvalidArgument("check-sorted: missing attribute " +
+                                     k.attr.Qualified());
+    }
+    idx.push_back(i);
+    desc.push_back(k.desc ? 1 : 0);
+  }
+  for (int64_t i = 1; i < r.NumRows(); ++i) {
+    const Tuple& prev = r.row(i - 1);
+    const Tuple& cur = r.row(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      int c = CompareValuesTotal(prev.values[idx[k]], cur.values[idx[k]]);
+      if (desc[k]) c = -c;
+      if (c < 0) break;
+      if (c > 0) {
+        return Status::Internal(
+            "rows " + std::to_string(i - 1) + ".." + std::to_string(i) +
+            " violate ORDER BY " + SortSpecToString(spec) + ": " +
+            prev.values[idx[k]].ToString() + " vs " +
+            cur.values[idx[k]].ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+StatusOr<JoinCoreResult> MergeJoinCore(const Relation& a, const Relation& b,
+                                       const HashPlan& plan,
+                                       const ExecContext& ctx) {
+  JoinCoreResult res;
+  Schema out_schema = Schema::Concat(a.schema(), b.schema());
+  VirtualSchema out_vschema = VirtualSchema::Concat(a.vschema(), b.vschema());
+  res.out = Relation(out_schema, out_vschema);
+  res.a_matched.assign(static_cast<size_t>(a.NumRows()), 0);
+  res.b_matched.assign(static_cast<size_t>(b.NumRows()), 0);
+  OperatorStats* st = ctx.stats;
+  if (st != nullptr) {
+    st->merge_path = true;
+    st->sort_rows += static_cast<uint64_t>(a.NumRows()) +
+                     static_cast<uint64_t>(b.NumRows());
+  }
+
+  auto side_key_fn = [](const Relation& r, const std::vector<ScalarPtr>& ks) {
+    return [&r, &ks](const Tuple& t, std::vector<Value>* keys) {
+      keys->clear();
+      keys->reserve(ks.size());
+      for (const ScalarPtr& k : ks) {
+        Value v = k->Eval(t, r.schema());
+        // NULL never equi-matches under 3VL: drop the row from the merge
+        // entirely, exactly like EncodeKeys' skip on the hash path.
+        if (v.is_null()) return false;
+        keys->push_back(std::move(v));
+      }
+      return true;
+    };
+  };
+  KeyCmp cmp{nullptr, /*key_class=*/true};
+  SortedStream sa(a, side_key_fn(a, plan.a_keys), cmp, ctx, "merge-join");
+  SortedStream sb(b, side_key_fn(b, plan.b_keys), cmp, ctx, "merge-join");
+  GSOPT_RETURN_IF_ERROR(sa.Init());
+  GSOPT_RETURN_IF_ERROR(sb.Init());
+  if (st != nullptr) st->null_key_skips += sa.skipped() + sb.skipped();
+
+  Predicate residual(plan.residual);
+  std::vector<Keyed> ba, bb;
+  OpMemory mem_a(ctx), mem_b(ctx);
+  GSOPT_RETURN_IF_ERROR(sa.NextBlock(&ba, &mem_a));
+  GSOPT_RETURN_IF_ERROR(sb.NextBlock(&bb, &mem_b));
+  while (!ba.empty() && !bb.empty()) {
+    GSOPT_RETURN_IF_ERROR(ctx.Tick("merge-join"));
+    int c = cmp.Compare(ba.front().keys, bb.front().keys);
+    if (c < 0) {
+      mem_a.Release();
+      GSOPT_RETURN_IF_ERROR(sa.NextBlock(&ba, &mem_a));
+      continue;
+    }
+    if (c > 0) {
+      mem_b.Release();
+      GSOPT_RETURN_IF_ERROR(sb.NextBlock(&bb, &mem_b));
+      continue;
+    }
+    for (const Keyed& x : ba) {
+      for (const Keyed& y : bb) {
+        GSOPT_RETURN_IF_ERROR(ctx.Tick("merge-join"));
+        Tuple t = Tuple::Concat(x.t, y.t);
+        if (st != nullptr) ++st->residual_evals;
+        if (residual.Satisfied(t, out_schema)) {
+          res.a_matched[static_cast<size_t>(x.orig)] = 1;
+          res.b_matched[static_cast<size_t>(y.orig)] = 1;
+          res.out.Add(std::move(t));
+          GSOPT_RETURN_IF_ERROR(ctx.ChargeRows(1, "merge-join"));
+        }
+      }
+    }
+    mem_a.Release();
+    mem_b.Release();
+    GSOPT_RETURN_IF_ERROR(sa.NextBlock(&ba, &mem_a));
+    GSOPT_RETURN_IF_ERROR(sb.NextBlock(&bb, &mem_b));
+  }
+  FlushStreamStats(sa, st);
+  FlushStreamStats(sb, st);
+  return res;
+}
+
+}  // namespace internal
+
+}  // namespace gsopt::exec

@@ -20,6 +20,10 @@ void OperatorStats::MergeCountersFrom(const OperatorStats& o) {
   bloom_checks += o.bloom_checks;
   bloom_rejects += o.bloom_rejects;
   bloom_false_positives += o.bloom_false_positives;
+  merge_path = merge_path || o.merge_path;
+  sort_rows += o.sort_rows;
+  sort_runs += o.sort_runs;
+  sort_merge_passes += o.sort_merge_passes;
   spilled = spilled || o.spilled;
   spill_partitions += o.spill_partitions;
   spill_bytes_written += o.spill_bytes_written;
@@ -66,6 +70,15 @@ std::string OperatorStats::ToString(int indent) const {
                   static_cast<unsigned long long>(bloom_checks),
                   static_cast<unsigned long long>(bloom_rejects),
                   static_cast<unsigned long long>(bloom_false_positives));
+    line += buf;
+  }
+  if (merge_path || sort_rows > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " sort{%srows=%llu runs=%llu passes=%llu}",
+                  merge_path ? "merge " : "",
+                  static_cast<unsigned long long>(sort_rows),
+                  static_cast<unsigned long long>(sort_runs),
+                  static_cast<unsigned long long>(sort_merge_passes));
     line += buf;
   }
   if (spilled) {

@@ -124,6 +124,13 @@ CostEstimate CostModel::Estimate(const NodePtr& node) const {
       e.cost = c.cost + c.rows;  // one hashing pass
       return e;
     }
+    case OpKind::kSort: {
+      // Order enforcer: rows pass through; pay the comparison-sort work.
+      CostEstimate c = Estimate(node->left());
+      double n = std::max(2.0, c.rows);
+      c.cost += n * std::log2(n);
+      return c;
+    }
     case OpKind::kAntiJoin:
     case OpKind::kSemiJoin: {
       CostEstimate l = Estimate(node->left());

@@ -27,6 +27,10 @@ class CostModel {
   // Selectivity of a conjunctive predicate (independence assumption).
   double Selectivity(const Predicate& p) const;
 
+  // The base-table statistics backing this model (the order-aware pass
+  // reads per-column sortedness from here).
+  const Statistics& stats() const { return stats_; }
+
  private:
   double AtomSelectivity(const Atom& a) const;
 

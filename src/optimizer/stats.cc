@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "exec/keys.h"
+#include "exec/sort.h"
 
 namespace gsopt {
 
@@ -15,7 +16,14 @@ Statistics Statistics::Collect(const Catalog& catalog) {
     for (int c = 0; c < r->schema().size(); ++c) {
       std::unordered_set<std::string> distinct;
       int nulls = 0;
+      bool sorted_asc = true;  // vacuously for 0/1 rows
+      const Value* prev = nullptr;
       for (const Tuple& t : r->rows()) {
+        if (prev != nullptr && sorted_asc &&
+            exec::CompareValuesTotal(*prev, t.values[c]) > 0) {
+          sorted_asc = false;
+        }
+        prev = &t.values[c];
         if (t.values[c].is_null()) {
           ++nulls;
           continue;
@@ -29,6 +37,7 @@ Statistics Statistics::Collect(const Catalog& catalog) {
       cs.null_fraction =
           r->NumRows() == 0 ? 0.0
                             : static_cast<double>(nulls) / r->NumRows();
+      cs.sorted_asc = sorted_asc;
       ts.columns[r->schema().attr(c).name] = cs;
     }
     stats.tables_[name] = std::move(ts);
@@ -47,6 +56,14 @@ double Statistics::Distinct(const std::string& rel,
   if (t == nullptr) return 1.0;
   auto it = t->columns.find(column);
   return it == t->columns.end() ? 1.0 : it->second.distinct;
+}
+
+bool Statistics::SortedAsc(const std::string& rel,
+                           const std::string& column) const {
+  const TableStats* t = Table(rel);
+  if (t == nullptr) return false;
+  auto it = t->columns.find(column);
+  return it != t->columns.end() && it->second.sorted_asc;
 }
 
 double Statistics::Rows(const std::string& rel) const {

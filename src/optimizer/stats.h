@@ -17,6 +17,13 @@ namespace gsopt {
 struct ColumnStats {
   double distinct = 1.0;
   double null_fraction = 0.0;
+  // The whole table is non-decreasing by this column alone under the
+  // ordering contract of exec/sort.h (NULL lowest). Detected by scanning
+  // at stats-build time, so it is always true of the actual data; it
+  // feeds only costing / physical choices (interesting orders), never
+  // correctness -- the merge join re-sorts internally with an is-sorted
+  // short-circuit either way.
+  bool sorted_asc = false;
 };
 
 struct TableStats {
@@ -33,6 +40,10 @@ class Statistics {
 
   // Distinct-count estimate for a qualified column; 1 if unknown.
   double Distinct(const std::string& rel, const std::string& column) const;
+
+  // True when the table's rows are known to be non-decreasing by this
+  // column (see ColumnStats::sorted_asc); false if unknown.
+  bool SortedAsc(const std::string& rel, const std::string& column) const;
 
   double Rows(const std::string& rel) const;
 

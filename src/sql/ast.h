@@ -1,7 +1,8 @@
 // SQL abstract syntax for the subset the paper works in: SELECT-FROM-WHERE
-// with GROUP BY / HAVING, inner and left/right/full outer joins with ON
-// predicates, views as parenthesized subqueries with aliases, aggregate
-// functions (COUNT/SUM/MIN/MAX/AVG, DISTINCT variants) and arithmetic.
+// with GROUP BY / HAVING / ORDER BY, inner and left/right/full outer joins
+// with ON predicates, views as parenthesized subqueries with aliases,
+// aggregate functions (COUNT/SUM/MIN/MAX/AVG, DISTINCT variants) and
+// arithmetic.
 #ifndef GSOPT_SQL_AST_H_
 #define GSOPT_SQL_AST_H_
 
@@ -82,12 +83,20 @@ struct SqlTableRef {
   SqlPredicate on;
 };
 
+struct SqlOrderItem {
+  SqlExprPtr expr;  // plain column (possibly an output alias)
+  bool desc = false;
+};
+
 struct SqlQuery {
   std::vector<SqlSelectItem> select;
   std::vector<std::shared_ptr<SqlTableRef>> from;
   SqlPredicate where;
   std::vector<SqlExprPtr> group_by;  // plain columns
   SqlPredicate having;
+  // ORDER BY; only meaningful on the outermost query (the binder rejects
+  // it inside view subqueries, where SQL gives it no semantics).
+  std::vector<SqlOrderItem> order_by;
 };
 
 }  // namespace gsopt::sql

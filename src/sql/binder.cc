@@ -371,6 +371,30 @@ StatusOr<BoundTable> Binder::BindQuery(const SqlQuery& q,
     }
   }
 
+  if (!q.order_by.empty()) {
+    if (!top_level) {
+      // SQL gives ORDER BY no semantics inside a view subquery; silently
+      // dropping it would lie about the emitted order, so refuse.
+      return Status::InvalidArgument(
+          "ORDER BY is only supported on the outermost query");
+    }
+    // Keys resolve against the select list first (aliases included); for
+    // non-aggregate queries an unselected underlying column also works --
+    // the sort sits BELOW the final projection, where it is still visible.
+    BoundTable scope;
+    scope.columns = result.columns;
+    exec::SortSpec spec;
+    for (const SqlOrderItem& item : q.order_by) {
+      auto vc = Resolve(scope, item.expr->qualifier, item.expr->column);
+      if (!vc.ok() && !has_agg) {
+        vc = Resolve(t, item.expr->qualifier, item.expr->column);
+      }
+      if (!vc.ok()) return vc.status();
+      spec.push_back(exec::SortKey{(*vc)->actual, item.desc});
+    }
+    result.tree = Node::Sort(result.tree, std::move(spec));
+  }
+
   if (top_level) {
     // Final output shape: project + rename to the exposed names.
     std::vector<Attribute> src, out;

@@ -12,7 +12,7 @@ const std::set<std::string>& Keywords() {
       "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "HAVING", "AS",
       "JOIN",   "LEFT",  "RIGHT", "FULL",  "INNER", "OUTER",  "ON",
       "AND",    "COUNT", "SUM",   "MIN",   "MAX",   "AVG",    "DISTINCT",
-      "IS",     "NOT",   "NULL",
+      "IS",     "NOT",   "NULL",  "ORDER", "ASC",   "DESC",
   };
   return *kw;
 }

@@ -33,6 +33,23 @@ class Parser {
     if (AcceptKeyword("HAVING")) {
       GSOPT_ASSIGN_OR_RETURN(q.having, ParsePredicate());
     }
+    if (AcceptKeyword("ORDER")) {
+      GSOPT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SqlOrderItem item;
+        GSOPT_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (item.expr->kind != SqlExpr::Kind::kColumn) {
+          return Status::InvalidArgument("ORDER BY expects plain columns");
+        }
+        if (AcceptKeyword("DESC")) {
+          item.desc = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        q.order_by.push_back(std::move(item));
+        if (!AcceptPunct(",")) break;
+      }
+    }
     return q;
   }
 

@@ -22,6 +22,10 @@ FuzzOptions FuzzOptions::Default() {
   opt.query.extra_atom_prob = 0.5;
   opt.query.loj_prob = 0.35;
   opt.query.foj_prob = 0.08;
+  // Roughly a third of the cases carry a root ORDER BY, so the order
+  // oracle and the sort enforcer's interaction with every other oracle
+  // (TLP wrapping, plan caching, round trips) get steady coverage.
+  opt.query.order_by_prob = 0.35;
   return opt;
 }
 
@@ -58,12 +62,12 @@ std::string FuzzStats::Summary() const {
       buf, sizeof(buf),
       "fuzz: %d cases, %d failures, %d skipped | coverage: view %.1f%%, "
       "agg-pred %.1f%%, distinct %.1f%%, dup-pair %.1f%%, complex-pred "
-      "%.1f%%, outer-join %.1f%% | %zu plans checked, %zu skipped | %.1fs "
-      "(%.1f cases/s)",
+      "%.1f%%, outer-join %.1f%%, order-by %.1f%% | %zu plans checked, "
+      "%zu skipped | %.1fs (%.1f cases/s)",
       cases, failures, skipped, Pct(with_view), Pct(with_agg_pred),
       Pct(with_distinct), Pct(with_dup_pair), Pct(with_complex_pred),
-      Pct(with_outer_join), plans_checked, plans_skipped, seconds,
-      seconds > 0 ? cases / seconds : 0.0);
+      Pct(with_outer_join), Pct(with_order_by), plans_checked, plans_skipped,
+      seconds, seconds > 0 ? cases / seconds : 0.0);
   std::string out = buf;
   if (chaos_trials > 0) {
     std::snprintf(buf, sizeof(buf),
@@ -101,6 +105,7 @@ StatusOr<FuzzStats> RunFuzz(uint64_t seed_start, int num_seeds,
     if (fc.features.has_dup_pair) ++stats.with_dup_pair;
     if (fc.features.has_complex_pred) ++stats.with_complex_pred;
     if (fc.features.has_outer_join) ++stats.with_outer_join;
+    if (fc.features.has_order_by) ++stats.with_order_by;
 
     Rng oracle_rng(seed ^ 0xfeedface12345678ULL);
     GSOPT_ASSIGN_OR_RETURN(

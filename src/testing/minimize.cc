@@ -71,6 +71,16 @@ NodePtr PruneToRels(const NodePtr& n, const std::set<std::string>& keep,
       *vis = std::move(out_vis);
       return Node::ProjectAs(child, std::move(src), std::move(dst));
     }
+    case OpKind::kSort: {
+      NodePtr child = PruneToRels(n->left(), keep, vis);
+      if (child == nullptr) return nullptr;
+      exec::SortSpec spec;
+      for (const exec::SortKey& k : n->sort_spec()) {
+        if (vis->count(k.attr.rel)) spec.push_back(k);
+      }
+      if (spec.empty()) return child;
+      return Node::Sort(child, std::move(spec));
+    }
     case OpKind::kGroupBy: {
       NodePtr child = PruneToRels(n->left(), keep, vis);
       if (child == nullptr) return nullptr;
@@ -168,6 +178,8 @@ NodePtr EditPredicateAt(const NodePtr& n, int target, int* counter,
       return Node::ProjectAs(l, n->projection(), n->projection_out());
     case OpKind::kGroupBy:
       return Node::GroupBy(l, n->groupby());
+    case OpKind::kSort:
+      return Node::Sort(l, n->sort_spec());
     case OpKind::kMgoj:
       return Node::Mgoj(l, r, p, n->groups());
     default:
@@ -183,6 +195,7 @@ int CountPredicateNodes(const NodePtr& n) {
       case OpKind::kLeaf:
       case OpKind::kProject:
       case OpKind::kGroupBy:
+      case OpKind::kSort:
         break;
       default:
         ++count;
@@ -320,9 +333,10 @@ StatusOr<MinimizedCase> Minimize(const NodePtr& query, const Catalog& catalog,
       }
     }
 
-    // 2. Strip root wrappers (projection / selection / group-by).
+    // 2. Strip root wrappers (projection / selection / sort / group-by).
     while (best.query->kind() == OpKind::kProject ||
            best.query->kind() == OpKind::kSelect ||
+           best.query->kind() == OpKind::kSort ||
            best.query->kind() == OpKind::kGroupBy ||
            best.query->kind() == OpKind::kGeneralizedSelection) {
       NodePtr candidate = best.query->left();

@@ -13,6 +13,7 @@
 #include "core/optimizer.h"
 #include "core/session.h"
 #include "exec/executor.h"
+#include "exec/sort.h"
 #include "sql/binder.h"
 #include "testing/sql_emit.h"
 
@@ -54,6 +55,36 @@ std::vector<std::string> CanonicalRowKeys(const Relation& r) {
   return keys;
 }
 
+// Locates a root ORDER BY contract -- a kSort at the root or directly
+// under the final projection -- and maps its keys through the projection's
+// rename so the spec resolves against the query's OUTPUT schema. Returns
+// false when there is no root sort, or when the projection drops a sort
+// key (the contract is then unverifiable from the outside).
+bool RootSortContract(const NodePtr& q, exec::SortSpec* out) {
+  if (q == nullptr) return false;
+  const Node* proj = q->kind() == OpKind::kProject ? q.get() : nullptr;
+  const NodePtr& below = proj != nullptr ? q->left() : q;
+  if (below == nullptr || below->kind() != OpKind::kSort) return false;
+  out->clear();
+  for (const exec::SortKey& k : below->sort_spec()) {
+    exec::SortKey mapped = k;
+    if (proj != nullptr) {
+      const auto& in = proj->projection();
+      const auto& outs = proj->projection_out();
+      bool found = false;
+      for (size_t i = 0; i < in.size() && !found; ++i) {
+        if (in[i] == k.attr) {
+          mapped.attr = outs[i];
+          found = true;
+        }
+      }
+      if (!found) return false;
+    }
+    out->push_back(mapped);
+  }
+  return true;
+}
+
 bool AnySpilled(const exec::OperatorStats& s) {
   if (s.spilled) return true;
   for (const auto& c : s.children) {
@@ -78,7 +109,9 @@ class OracleRunner {
   // paths on (otherwise kAuto would let the two kernel families silently
   // validate each other on larger inputs). Bloom filtering is pinned OFF
   // for the same reason: the bloom oracle alone turns it on, against a
-  // ground truth that never consulted a filter.
+  // ground truth that never consulted a filter. The join strategy is
+  // pinned to kHashOnly likewise: the merge oracle alone forces the
+  // sort-merge paths, against a ground truth that never ran them.
   StatusOr<Relation> Exec(const NodePtr& n, exec::Executor* executor = nullptr) {
     ResourceBudget budget;
     budget.WithMaxRows(opt_.max_rows_per_exec);
@@ -87,6 +120,7 @@ class OracleRunner {
     eo.executor = executor;
     eo.batch = exec::BatchMode::kOff;
     eo.bloom = exec::BloomMode::kOff;
+    eo.join = exec::JoinStrategy::kHashOnly;
     return Execute(n, catalog_, eo);
   }
 
@@ -123,6 +157,8 @@ class OracleRunner {
   void RunPlanCache();
   void RunColumnar();
   void RunBloom();
+  void RunMergeJoin();
+  void RunOrder();
   void RunChaos();
 
   const NodePtr& query_;
@@ -345,6 +381,18 @@ void OracleRunner::RunRoundTrip() {
   if (!Relation::BagEquals(*expected, *got)) {
     Fail(OracleKind::kRoundTrip,
          "re-bound SQL diverges from the original tree; sql=" + emitted->sql);
+    return;
+  }
+  // When the emitted SQL carried an ORDER BY, bag equality is not the whole
+  // contract: the re-bound tree's execution must also deliver the order.
+  exec::SortSpec spec;
+  if (emitted->has_order_by && RootSortContract(*bound, &spec)) {
+    Status s = exec::CheckSorted(*got, spec);
+    if (!s.ok()) {
+      Fail(OracleKind::kRoundTrip,
+           "re-bound SQL violates its ORDER BY: " + s.ToString() +
+               " sql=" + emitted->sql);
+    }
   }
 }
 
@@ -704,6 +752,248 @@ void OracleRunner::RunBloom() {
   }
 }
 
+void OracleRunner::RunMergeJoin() {
+  ++outcome_.oracles_run;
+
+  // Forced sort-merge execution across every path. The baseline pinned
+  // JoinStrategy::kHashOnly, so any divergence here is the merge family's
+  // fault: merge join and sorted aggregation must reproduce the hash
+  // paths' NULL-key and key-class semantics exactly.
+  auto exec_forced = [&](exec::BatchMode batch, exec::Executor* executor,
+                         ResourceBudget* budget,
+                         const exec::SpillConfig* spill,
+                         FaultInjector* fault) -> StatusOr<Relation> {
+    ExecuteOptions eo;
+    eo.budget = budget;
+    eo.executor = executor;
+    eo.spill = spill;
+    eo.fault = fault;
+    eo.batch = batch;
+    // Filter-free, so a divergence is attributable to the merge paths
+    // alone (the bloom oracle owns the filtered trials).
+    eo.bloom = exec::BloomMode::kOff;
+    eo.join = exec::JoinStrategy::kMergeOnly;
+    GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(query_, catalog_, eo));
+    if (opt_.mutate_checked_result) opt_.mutate_checked_result(&r);
+    return r;
+  };
+  auto check_bag = [&](const StatusOr<Relation>& got,
+                       const std::string& label) {
+    if (!got.ok()) {
+      if (Skipped(got.status())) return;
+      Fail(OracleKind::kMergeJoin,
+           label + " failed: " + got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kMergeJoin,
+           label + " diverges from the hash-path result");
+    }
+  };
+
+  // Trial 1: forced merge on the serial tuple-at-a-time kernels.
+  {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(exec::BatchMode::kOff, nullptr, &budget, nullptr,
+                          nullptr),
+              "merge (serial)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 2: forced merge with the columnar batch kernels active for every
+  // non-join operator (the join dispatch gives merge priority).
+  {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(exec::BatchMode::kForce, nullptr, &budget, nullptr,
+                          nullptr),
+              "merge (columnar)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 3: forced merge with the morsel-parallel executor attached (scan
+  // and selection morsels fan out; each join still runs the merge core).
+  {
+    exec::Executor executor(4);
+    executor.set_min_parallel_rows(1);
+    executor.set_morsel_rows(7);
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    check_bag(exec_forced(exec::BatchMode::kAuto, &executor, &budget, nullptr,
+                          nullptr),
+              "merge (parallel)");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 4: memory-starved with spilling: the external sort underneath
+  // the merge must degrade to run files and still tile the baseline --
+  // with the memory ledger unwound.
+  {
+    exec::SpillConfig spill;
+    spill.enabled = true;
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    budget.WithMaxMemory(opt_.chaos_memory_bytes);
+    auto got = exec_forced(exec::BatchMode::kAuto, nullptr, &budget, &spill,
+                           nullptr);
+    if (budget.memory_charged() != 0) {
+      Fail(OracleKind::kMergeJoin,
+           "merge (spilling) left " + std::to_string(budget.memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return;
+    }
+    if (!got.ok()) {
+      // Two legitimate outs. Row caps / deadlines (kResourceExhausted
+      // without "memory cap") skip as everywhere else. And the merge
+      // join's own block staging has no degradation below it by design:
+      // a single key-equal block bigger than the whole cap reports
+      // "merge-join: memory cap exceeded" -- the documented irreducible
+      // case (intermediate joins concentrate duplicate keys well past the
+      // base-table sizes), analogous to the chaos oracle's DISTINCT dedup
+      // set. Any OTHER memory-cap report still fails: the external sort
+      // underneath must spill, not trip.
+      const bool typed_skip =
+          got.status().code() == StatusCode::kResourceExhausted &&
+          got.status().message().find("memory cap") == std::string::npos;
+      const bool irreducible_block =
+          got.status().code() == StatusCode::kResourceExhausted &&
+          got.status().message().find("merge-join: memory cap") !=
+              std::string::npos;
+      if (typed_skip || irreducible_block) {
+        ++outcome_.plans_skipped;
+      } else {
+        Fail(OracleKind::kMergeJoin,
+             "merge (spilling) failed: " + got.status().ToString());
+      }
+      if (outcome_.failed) return;
+    } else {
+      check_bag(got, "merge (spilling)");
+      if (outcome_.failed) return;
+    }
+  }
+
+  // Faulted trials: injected run-file write failures and alloc faults must
+  // surface as clean typed errors or a correct bag -- never a wrong answer
+  // quietly sorted into plausibility.
+  for (int trial = 0; trial < 2; ++trial) {
+    const uint64_t seed = static_cast<uint64_t>(
+        rng_->Uniform(0, std::numeric_limits<int64_t>::max() - 1));
+    FaultInjector::Options fo;
+    fo.seed = seed;
+    fo.period = opt_.chaos_fault_period;
+    FaultInjector fault(fo);
+    exec::SpillConfig spill;
+    spill.enabled = true;
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    auto got = exec_forced(exec::BatchMode::kAuto, nullptr, &budget, &spill,
+                           &fault);
+    if (budget.memory_charged() != 0) {
+      Fail(OracleKind::kMergeJoin,
+           "merge fault seed " + std::to_string(seed) + " left " +
+               std::to_string(budget.memory_charged()) +
+               " byte(s) charged to the memory ledger");
+      return;
+    }
+    if (!got.ok()) {
+      const StatusCode code = got.status().code();
+      if (code == StatusCode::kResourceExhausted ||
+          code == StatusCode::kUnavailable) {
+        continue;  // clean typed failure: the contract holds
+      }
+      Fail(OracleKind::kMergeJoin,
+           "merge fault seed " + std::to_string(seed) +
+               " produced an unexpected error class: " +
+               got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kMergeJoin,
+           "merge fault seed " + std::to_string(seed) +
+               " returned success with an incorrect bag");
+      return;
+    }
+  }
+}
+
+void OracleRunner::RunOrder() {
+  // Queries without a root ORDER BY carry no order promise to check.
+  exec::SortSpec spec;
+  if (!RootSortContract(query_, &spec)) return;
+  ++outcome_.oracles_run;
+
+  auto exec_with = [&](const NodePtr& n,
+                       exec::JoinStrategy join) -> StatusOr<Relation> {
+    ResourceBudget budget;
+    budget.WithMaxRows(opt_.max_rows_per_exec);
+    ExecuteOptions eo;
+    eo.budget = &budget;
+    eo.batch = exec::BatchMode::kOff;
+    eo.bloom = exec::BloomMode::kOff;
+    eo.join = join;
+    GSOPT_ASSIGN_OR_RETURN(Relation r, Execute(n, catalog_, eo));
+    if (opt_.mutate_checked_result) opt_.mutate_checked_result(&r);
+    return r;
+  };
+  auto check_ordered = [&](const StatusOr<Relation>& got,
+                           const std::string& label) {
+    if (!got.ok()) {
+      if (Skipped(got.status())) return;
+      Fail(OracleKind::kOrder, label + " failed: " + got.status().ToString());
+      return;
+    }
+    ++outcome_.plans_checked;
+    Status s = exec::CheckSorted(*got, spec);
+    if (!s.ok()) {
+      Fail(OracleKind::kOrder,
+           label + " violates the ORDER BY contract: " + s.ToString());
+      return;
+    }
+    if (!Relation::BagEquals(baseline_, *got)) {
+      Fail(OracleKind::kOrder, label + " diverges from the baseline bag");
+    }
+  };
+
+  // Trial 0: the baseline itself (syntactic tree, hash joins, the sort
+  // enforcer intact) must satisfy its own ORDER BY.
+  {
+    Status s = exec::CheckSorted(baseline_, spec);
+    if (!s.ok()) {
+      Fail(OracleKind::kOrder,
+           "syntactic baseline violates its own ORDER BY: " + s.ToString());
+      return;
+    }
+  }
+
+  // Trial 1: the order-aware optimizer's winning plan, executed serially
+  // with merge hints honored (the configuration its enforcer-removal
+  // reasoning assumes). This is the trial that catches a kSort removed on
+  // the promise of an order nobody actually delivered.
+  {
+    QueryOptimizer optimizer(catalog_);
+    OptimizeOptions oo;
+    oo.max_plans = std::max<size_t>(opt_.max_plans, 16);
+    auto result = optimizer.Optimize(query_, oo);
+    if (!result.ok()) {
+      Fail(OracleKind::kOrder,
+           "optimization failed: " + result.status().ToString());
+      return;
+    }
+    check_ordered(exec_with(result->best.expr, exec::JoinStrategy::kAuto),
+                  "optimized plan");
+    if (outcome_.failed) return;
+  }
+
+  // Trial 2: the as-written tree under forced merge execution -- sorted
+  // aggregation and merge joins below the intact enforcer must not
+  // disturb the final order.
+  check_ordered(exec_with(query_, exec::JoinStrategy::kMergeOnly),
+                "forced-merge execution");
+}
+
 void OracleRunner::RunChaos() {
   ++outcome_.oracles_run;
   exec::SpillConfig spill;
@@ -877,6 +1167,8 @@ StatusOr<OracleOutcome> OracleRunner::Run() {
   if (opt_.run_plan_cache && !outcome_.failed) RunPlanCache();
   if (opt_.run_columnar && !outcome_.failed) RunColumnar();
   if (opt_.run_bloom && !outcome_.failed) RunBloom();
+  if (opt_.run_merge && !outcome_.failed) RunMergeJoin();
+  if (opt_.run_order && !outcome_.failed) RunOrder();
   if (opt_.run_chaos && !outcome_.failed) RunChaos();
   return outcome_;
 }
@@ -893,6 +1185,8 @@ std::string OracleKindName(OracleKind k) {
     case OracleKind::kPlanCache: return "plan-cache";
     case OracleKind::kColumnar: return "columnar";
     case OracleKind::kBloom: return "bloom";
+    case OracleKind::kMergeJoin: return "merge-join";
+    case OracleKind::kOrder: return "order";
     case OracleKind::kChaos: return "chaos";
   }
   return "?";

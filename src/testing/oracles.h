@@ -16,6 +16,14 @@
 //                    serial, columnar, parallel, spilled, faulted --
 //                    reproduces the filter-free result: a filter may only
 //                    ever skip work, never change an answer;
+//  * merge join   -- forcing every equi-join onto the sort-merge path and
+//                    every aggregation onto sort-based grouping
+//                    (JoinStrategy::kMergeOnly) -- serial, columnar,
+//                    parallel, spilled, faulted -- reproduces the
+//                    hash-path result (the baseline pins kHashOnly);
+//  * order        -- for ORDER BY queries, the order-aware optimizer's
+//                    output and the forced-merge execution both still
+//                    satisfy the sort spec and bag-equal the baseline;
 //  * TLP          -- partitioning any visible column c by `c <= k`,
 //                    `c > k`, `c IS NULL` and unioning the three optimized
 //                    partitions reproduces the unpartitioned result
@@ -59,6 +67,8 @@ enum class OracleKind {
   kPlanCache,
   kColumnar,
   kBloom,
+  kMergeJoin,
+  kOrder,
   kChaos,
 };
 
@@ -87,6 +97,25 @@ struct OracleOptions {
   // every trial to the filter-free baseline's bag. The baseline itself
   // pins BloomMode::kOff, so a filter bug cannot validate itself.
   bool run_bloom = true;
+  // Merge-vs-hash differential: re-executes the query with
+  // JoinStrategy::kMergeOnly, forcing every equi-join onto the sort-merge
+  // path (and every aggregation onto sort-based grouping) -- serial
+  // tuple-at-a-time, columnar, morsel-parallel, memory-starved/spilled,
+  // and under seeded fault injection -- and holds every trial to the
+  // hash-path baseline's bag. The baseline itself pins
+  // JoinStrategy::kHashOnly, so the two join families never silently
+  // validate each other (identical NULL-key and key-class semantics are
+  // exactly what this oracle exists to prove).
+  bool run_merge = true;
+  // Order-correctness oracle: for queries whose result carries an ORDER BY
+  // (a root kSort, possibly under the final projection), re-runs the query
+  // through the order-aware optimizer (interesting orders, merge-join
+  // stamping, enforcer removal) and through forced-merge execution, and
+  // asserts that each trial's output still satisfies the sort spec
+  // (exec::CheckSorted) *and* bag-equals the baseline. This is the oracle
+  // that catches an enforcer removed on the promise of an order nobody
+  // actually delivered.
+  bool run_order = true;
   // Chaos oracle (opt-in; see --chaos in tools/gsopt_fuzz): re-executes
   // the query under a starvation-level memory cap (forcing the spill
   // path), then under deterministic fault injection at every site, and

@@ -20,7 +20,7 @@ bool IsSqlKeyword(const std::string& s) {
       "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "HAVING", "AS",
       "JOIN",   "LEFT",  "RIGHT", "FULL",  "INNER", "OUTER",  "ON",
       "AND",    "COUNT", "SUM",   "MIN",   "MAX",   "AVG",    "DISTINCT",
-      "IS",     "NOT",   "NULL",
+      "IS",     "NOT",   "NULL",  "ORDER", "ASC",   "DESC",
   };
   std::string up = s;
   for (char& c : up) c = static_cast<char>(std::toupper(c));
@@ -340,6 +340,11 @@ StatusOr<Rendered> Emitter::Render(const NodePtr& n) {
     case OpKind::kMgoj:
       return Status::Unimplemented(OpKindName(n->kind()) +
                                    " is not in the SQL surface");
+    case OpKind::kSort:
+      // ORDER BY only has defined semantics at the outermost SELECT (and
+      // EmitSql peels a root sort off before rendering); a sort buried in
+      // a subquery would be silently meaningless SQL.
+      return Status::Unimplemented("mid-tree SORT is not in the SQL surface");
   }
   return Status::Internal("unhandled node kind");
 }
@@ -353,14 +358,19 @@ StatusOr<EmittedQuery> EmitSql(const NodePtr& tree, const Catalog& catalog) {
   // A kProject root supplies the select list directly; any other root
   // exposes every visible column. Either way the text aliases output i as
   // `oi`, which the binder projects to {q, oi} at top level, and
-  // `reference` applies the identical rename to the input tree.
-  NodePtr body = tree->kind() == OpKind::kProject ? tree->left() : tree;
+  // `reference` applies the identical rename to the input tree. A root
+  // kSort (optionally under the projection -- the binder's ORDER BY shape)
+  // is peeled off here and re-rendered as the outermost ORDER BY clause.
+  NodePtr proj = tree->kind() == OpKind::kProject ? tree : nullptr;
+  NodePtr below = proj != nullptr ? proj->left() : tree;
+  NodePtr sort = below->kind() == OpKind::kSort ? below : nullptr;
+  NodePtr body = sort != nullptr ? sort->left() : below;
   GSOPT_ASSIGN_OR_RETURN(Rendered r, emitter.Render(body));
 
   std::vector<std::pair<Attribute, std::string>> selected;
-  if (tree->kind() == OpKind::kProject) {
-    const std::vector<Attribute>& src = tree->projection();
-    const std::vector<Attribute>& dst = tree->projection_out();
+  if (proj != nullptr) {
+    const std::vector<Attribute>& src = proj->projection();
+    const std::vector<Attribute>& dst = proj->projection_out();
     for (size_t i = 0; i < src.size(); ++i) {
       std::string text;
       for (const auto& [attr, t] : r.cols) {
@@ -396,6 +406,25 @@ StatusOr<EmittedQuery> EmitSql(const NodePtr& tree, const Catalog& catalog) {
 
   EmittedQuery out;
   out.sql = "SELECT " + items + " FROM " + r.sql;
+  if (sort != nullptr) {
+    std::string clause;
+    for (const exec::SortKey& k : sort->sort_spec()) {
+      std::string text;
+      for (const auto& [attr, t] : r.cols) {
+        if (attr == k.attr) {
+          text = t;
+          break;
+        }
+      }
+      if (text.empty()) {
+        return Status::NotFound("sort key not visible: " + k.attr.Qualified());
+      }
+      if (!clause.empty()) clause += ", ";
+      clause += text + (k.desc ? " DESC" : " ASC");
+    }
+    out.sql += " ORDER BY " + clause;
+    out.has_order_by = true;
+  }
   out.reference = Node::ProjectAs(tree, std::move(src_attrs),
                                   std::move(out_attrs));
   return out;

@@ -24,6 +24,10 @@ struct EmittedQuery {
   // The input tree re-projected to the SQL text's output columns
   // ({q.o0, q.o1, ...}), for bag-equality against the re-bound tree.
   NodePtr reference;
+  // The text carries a top-level ORDER BY (the tree root was kSort, under
+  // at most one projection), so the round-trip comparison may additionally
+  // check output ORDER, not just bag equality.
+  bool has_order_by = false;
 };
 
 // Fails with kUnimplemented for trees outside the SQL surface (GS / MGOJ /

@@ -18,6 +18,7 @@
 #include "base/rng.h"
 #include "core/plan_cache.h"
 #include "exec/executor.h"
+#include "exec/sort.h"
 #include "relational/datagen.h"
 #include "sql/binder.h"
 
@@ -75,6 +76,27 @@ TEST(ParameterizeQueryTest, LiteralsLiftToSlotsAndFingerprintIsInvariant) {
                                          "r1", "a", CmpOp::kEq,
                                          Value::Int(1)))));
   EXPECT_NE(other.fingerprint, a.fingerprint);
+}
+
+TEST(ParameterizeQueryTest, OrderByDirectionIsPartOfTheFingerprint) {
+  // ASC and DESC enforcers must never share a cached template: a hit
+  // would replay the wrong output order even though the bags agree.
+  auto ordered = [](int64_t pivot, bool desc) {
+    exec::SortSpec spec{{Attribute{"r1", "a"}, desc},
+                        {Attribute{"r2", "b"}, false}};
+    return Node::Sort(PivotQuery(pivot), std::move(spec));
+  };
+  ParameterizedQuery asc1 = ParameterizeQuery(ordered(1, false));
+  ParameterizedQuery asc4 = ParameterizeQuery(ordered(4, false));
+  ParameterizedQuery desc1 = ParameterizeQuery(ordered(1, true));
+  // Literals still lift: same direction, different pivot -> same template.
+  EXPECT_EQ(asc1.fingerprint, asc4.fingerprint);
+  EXPECT_EQ(asc1.canonical, asc4.canonical);
+  // Flipping one key's direction changes the template identity.
+  EXPECT_NE(asc1.fingerprint, desc1.fingerprint);
+  // And so does dropping the enforcer entirely.
+  ParameterizedQuery bare = ParameterizeQuery(PivotQuery(1));
+  EXPECT_NE(asc1.fingerprint, bare.fingerprint);
 }
 
 TEST(SubstituteParamsTest, UnboundSlotIsInvalidArgument) {

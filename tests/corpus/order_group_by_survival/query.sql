@@ -1,0 +1,1 @@
+SELECT v.g AS o0, v.cnt AS o1, r2.b AS o2 FROM (SELECT r1.a AS g, COUNT(r1.b) AS cnt FROM r1 GROUP BY r1.a) AS v LEFT JOIN r2 ON v.g = r2.a ORDER BY v.g

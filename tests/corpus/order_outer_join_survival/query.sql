@@ -1,0 +1,1 @@
+SELECT r1.a AS o0, r1.b AS o1, r2.b AS o2 FROM r1 LEFT OUTER JOIN r2 ON r1.a = r2.a ORDER BY r1.a, r1.b DESC

@@ -112,7 +112,7 @@ TEST(NullToleranceGuardTest, OptimizerFallsBackToAsWritten) {
       Predicate(MakeAtom("r1", "c", CmpOp::kEq, "r3", "c")));
   QueryOptimizer opt2(cat);
   auto result = opt2.Optimize(q);
-  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
   auto eq = ExecutionEquivalent(q, result->best.expr, cat);
   ASSERT_TRUE(eq.ok());
   EXPECT_TRUE(*eq);

@@ -5,6 +5,7 @@
 #include "algebra/execute.h"
 #include "base/rng.h"
 #include "core/optimizer.h"
+#include "exec/sort.h"
 #include "relational/datagen.h"
 #include "sql/binder.h"
 #include "sql/lexer.h"
@@ -240,6 +241,80 @@ TEST(BinderTest, FullSqlQueryOptimizesEquivalently) {
     ASSERT_TRUE(got.ok());
     EXPECT_TRUE(Relation::BagEquals(*ref, *got)) << p.expr->ToString();
   }
+}
+
+TEST(ParserTest, OrderByDirectionsAndErrors) {
+  auto q = Parse("SELECT r1.a FROM r1 ORDER BY r1.a DESC, r1.b ASC, r1.c");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->order_by.size(), 3u);
+  EXPECT_TRUE(q->order_by[0].desc);
+  EXPECT_FALSE(q->order_by[1].desc);
+  EXPECT_FALSE(q->order_by[2].desc);
+  // Only plain (optionally qualified) column keys are supported.
+  EXPECT_FALSE(Parse("SELECT r1.a FROM r1 ORDER BY 1").ok());
+  EXPECT_FALSE(Parse("SELECT r1.a FROM r1 ORDER BY r1.a + 1").ok());
+}
+
+TEST(BinderTest, OrderByMultiKeyExecutesSorted) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind(
+      "SELECT r1.a, r1.b FROM r1 JOIN r2 ON r1.a = r2.a "
+      "ORDER BY r1.a DESC, r1.b",
+      cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  exec::SortSpec spec{{Attribute{"r1", "a"}, /*desc=*/true},
+                      {Attribute{"r1", "b"}, /*desc=*/false}};
+  EXPECT_TRUE(exec::CheckSorted(*rel, spec).ok());
+
+  // Same bag as the unordered query: ORDER BY is an enforcer, not a filter.
+  auto unordered = Execute(
+      *ParseAndBind("SELECT r1.a, r1.b FROM r1 JOIN r2 ON r1.a = r2.a", cat),
+      cat);
+  ASSERT_TRUE(unordered.ok());
+  EXPECT_TRUE(Relation::BagEquals(*unordered, *rel));
+}
+
+TEST(BinderTest, OrderByResolvesSelectAlias) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind("SELECT r1.a AS x FROM r1 ORDER BY x DESC", cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  exec::SortSpec spec{{Attribute{"q", "x"}, /*desc=*/true}};
+  EXPECT_TRUE(exec::CheckSorted(*rel, spec).ok());
+}
+
+TEST(BinderTest, OrderByAggregateAliasSortsGroups) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind(
+      "SELECT r2.a, COUNT(r2.b) AS cnt FROM r2 GROUP BY r2.a "
+      "ORDER BY cnt DESC, a",
+      cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto rel = Execute(*tree, cat);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  exec::SortSpec spec{{Attribute{"q", "cnt"}, /*desc=*/true},
+                      {Attribute{"q", "a"}, /*desc=*/false}};
+  EXPECT_TRUE(exec::CheckSorted(*rel, spec).ok());
+}
+
+TEST(BinderTest, OrderByUnselectedColumnSortsBelowProjection) {
+  // The sort key need not appear in the select list for non-aggregate
+  // queries: the enforcer sits below the final projection.
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind("SELECT r1.b FROM r1 ORDER BY r1.a", cat);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_TRUE(Execute(*tree, cat).ok());
+}
+
+TEST(BinderTest, OrderByRejectedInsideSubquery) {
+  Catalog cat = MakeCatalog();
+  auto tree = ParseAndBind(
+      "SELECT v.a FROM (SELECT r1.a FROM r1 ORDER BY r1.a) AS v", cat);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("outermost"), std::string::npos);
 }
 
 TEST(BinderTest, StarSelect) {

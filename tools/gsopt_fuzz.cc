@@ -6,7 +6,10 @@
 // case through a gsopt::Session, validating that cached parameterized
 // templates re-instantiate to exactly what literal re-optimization
 // produces; the columnar oracle forces the batch kernel paths -- serial,
-// parallel, spilling, faulted -- against the tuple-at-a-time baseline);
+// parallel, spilling, faulted -- against the tuple-at-a-time baseline; the
+// merge oracle forces JoinStrategy::kMergeOnly across the same paths
+// against a hash-pinned baseline; the order oracle re-checks ORDER BY
+// queries through the order-aware optimizer and forced-merge execution);
 // failures are delta-debugged to minimal reproducers and written as
 // self-contained .sql + CSV artifacts.
 //
@@ -55,6 +58,9 @@ int Usage() {
       "  --inject-fault        mutate every checked result (self-test)\n"
       "  --no-columnar         skip the columnar-vs-tuple oracle\n"
       "  --no-bloom            skip the bloom-filter-on-vs-off oracle\n"
+      "  --no-merge            skip the merge-vs-hash join oracle\n"
+      "  --no-order            skip the ORDER BY correctness oracle\n"
+      "  --order-by-prob=P     root ORDER BY probability (default 0.35)\n"
       "  --chaos               run the chaos oracle (spill + fault injection)\n"
       "  --chaos-period=N      fire one injected fault per N probes (default 3)\n"
       "  --chaos-memory=BYTES  operator-state cap for spill trials (default 16384)\n"
@@ -96,6 +102,8 @@ int main(int argc, char** argv) {
       opt.oracle.max_plans = static_cast<size_t>(std::atoi(v.c_str()));
     } else if (ParseFlag(argv[i], "view-prob", &v)) {
       opt.query.view_prob = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "order-by-prob", &v)) {
+      opt.query.order_by_prob = std::atof(v.c_str());
     } else if (ParseFlag(argv[i], "chaos-period", &v)) {
       opt.oracle.chaos_fault_period = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "chaos-memory", &v)) {
@@ -106,6 +114,10 @@ int main(int argc, char** argv) {
       opt.oracle.run_columnar = false;
     } else if (std::strcmp(argv[i], "--no-bloom") == 0) {
       opt.oracle.run_bloom = false;
+    } else if (std::strcmp(argv[i], "--no-merge") == 0) {
+      opt.oracle.run_merge = false;
+    } else if (std::strcmp(argv[i], "--no-order") == 0) {
+      opt.oracle.run_order = false;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       opt.oracle.run_chaos = true;
     } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
