@@ -119,7 +119,7 @@ void BM_WarmExecute(benchmark::State& state) {
   for (auto _ : state) {
     auto got = stmt->Bind({Value::Int(pivot++ % 5)}).Execute();
     GSOPT_CHECK(got.ok());
-    rows = got->relation.NumRows();
+    rows = got->rows.NumRows();
     benchmark::DoNotOptimize(rows);
   }
   state.counters["rows"] = static_cast<double>(rows);
@@ -138,7 +138,7 @@ void BM_WarmMatchesCold(benchmark::State& state) {
       auto a = warm.Query(Example21Sql(pivot));
       auto b = cold.Query(Example21Sql(pivot));
       GSOPT_CHECK(a.ok() && b.ok());
-      equal = equal && Relation::BagEquals(a->relation, b->relation);
+      equal = equal && Relation::BagEquals(a->rows, b->rows);
     }
     benchmark::DoNotOptimize(equal);
   }

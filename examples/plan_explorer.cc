@@ -147,9 +147,9 @@ int main() {
     if (again.ok()) {
       std::printf("\nre-served from the plan cache: hit=%s, %lld rows, %s\n",
                   again->cache_hit ? "yes" : "NO (bug!)",
-                  static_cast<long long>(again->relation.NumRows()),
+                  static_cast<long long>(again->rows.NumRows()),
                   session.cache_stats().ToString().c_str());
-      if (!Relation::BagEquals(again->relation, best->relation)) {
+      if (!Relation::BagEquals(again->rows, best->rows)) {
         std::printf("cache-hit result DIVERGES from the cold run!\n");
         ++bad;
       }

@@ -57,12 +57,12 @@ int main() {
   std::printf("chosen plan (EXPLAIN):\n%s\n",
               Explain(result->plan, session.optimizer()->cost_model())
                   .c_str());
-  std::printf("result:\n%s\n", result->relation.ToString().c_str());
+  std::printf("result:\n%s\n", result->rows.ToString().c_str());
 
   // 4. Sanity: the served result matches the as-written query.
   auto ref = Execute(*tree, cat);
   std::printf("equivalent to as-written: %s\n\n",
-              Relation::BagEquals(*ref, result->relation) ? "yes"
+              Relation::BagEquals(*ref, result->rows) ? "yes"
                                                           : "NO (bug!)");
 
   // 5. Prepared statements: $1-style parameters optimize ONCE; each
@@ -85,7 +85,7 @@ int main() {
     }
     std::printf("amount > %lld: %lld row(s)%s\n",
                 static_cast<long long>(threshold),
-                static_cast<long long>(rows->relation.NumRows()),
+                static_cast<long long>(rows->rows.NumRows()),
                 rows->cache_hit ? " (cached template)" : "");
   }
   std::printf("plan cache: %s\n", session.cache_stats().ToString().c_str());

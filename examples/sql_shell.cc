@@ -144,19 +144,19 @@ void RunQuery(const std::string& text, Session& session, QueryMode mode) {
   if (mode == QueryMode::kAnalyze) {
     PrintOptimizerLine(*stmt);
     std::printf("plan cache: %s\n", session.cache_stats().ToString().c_str());
-    auto plan = stmt->ExecutablePlan({});
-    if (!plan.ok()) {
-      std::printf("error: %s\n", plan.status().ToString().c_str());
-      return;
-    }
-    auto analyzed = ExplainAnalyze(*plan, cat,
-                                   session.optimizer()->cost_model(), xo);
+    // One serving execution with collect_stats: the QueryResult carries
+    // the stats tree, so \analyze no longer re-executes through a
+    // side-channel stats pointer.
+    auto analyzed = stmt->Execute(xo.WithCollectStats());
     if (!analyzed.ok()) {
       std::printf("error: %s\n", analyzed.status().ToString().c_str());
       return;
     }
-    std::printf("%s(%lld rows)\n", analyzed->text.c_str(),
-                static_cast<long long>(analyzed->result.NumRows()));
+    std::printf("%s(%lld rows)\n",
+                AnalyzeText(analyzed->plan, session.optimizer()->cost_model(),
+                            analyzed->stats.get())
+                    .c_str(),
+                static_cast<long long>(analyzed->rows.NumRows()));
     return;
   }
   auto result = stmt->Execute(xo);
@@ -168,11 +168,11 @@ void RunQuery(const std::string& text, Session& session, QueryMode mode) {
     std::printf("warning: degraded under budget (%s)\n",
                 result->degradation.ToString().c_str());
   }
-  std::printf("%s", ToCsv(result->relation).c_str());
+  std::printf("%s", ToCsv(result->rows).c_str());
   // Prepare-time hit: did this statement skip the plan search? (The
   // Execute result's cache_hit is template reuse, true by construction.)
   std::printf("(%lld rows%s)\n",
-              static_cast<long long>(result->relation.NumRows()),
+              static_cast<long long>(result->rows.NumRows()),
               stmt->cache_hit() ? ", plan cached" : "");
 }
 
@@ -251,9 +251,9 @@ void RunExecute(const std::string& rest,
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  std::printf("%s", ToCsv(result->relation).c_str());
+  std::printf("%s", ToCsv(result->rows).c_str());
   std::printf("(%lld rows%s)\n",
-              static_cast<long long>(result->relation.NumRows()),
+              static_cast<long long>(result->rows.NumRows()),
               result->cache_hit ? ", cached template" : "");
 }
 

@@ -26,12 +26,15 @@
 
 namespace gsopt {
 
-struct ExecuteOptions {
-  // Optional cooperative budget (deadline / row cap); not owned.
+// The execution policy shared by every layer that launches kernels: the
+// low-level interpreter (ExecuteOptions below), the Session serving
+// facade's per-session defaults (SessionOptions, core/session.h) and its
+// per-call overrides. One struct, one merge function -- the per-layer
+// option types embed or derive from this instead of re-declaring the
+// fields and re-implementing field-by-field override logic.
+struct ExecPolicy {
+  // Optional cooperative budget (deadline / row / memory cap); not owned.
   ResourceBudget* budget = nullptr;
-  // Optional stats collection root (not owned). When set, Execute fills it
-  // for the plan's root operator and appends one child per plan child.
-  exec::OperatorStats* stats = nullptr;
   // Optional morsel-parallel executor (not owned). Null -- the default --
   // runs every operator on the serial reference kernels. With more than
   // one lane, large inputs take the parallel kernel paths; results are
@@ -65,26 +68,92 @@ struct ExecuteOptions {
   // sort-based aggregation everywhere. Results are bag-equal across modes
   // (the merge-vs-hash oracle enforces this); only row order may differ.
   exec::JoinStrategy join = exec::JoinStrategy::kAuto;
+  // Serving-layer knob: when true, Session allocates an OperatorStats tree
+  // inside the QueryResult it returns, so callers get per-operator actuals
+  // without threading a stats pointer side channel. The low-level
+  // interpreter ignores this (it has the explicit stats pointer instead).
+  bool collect_stats = false;
+};
 
-  // Fluent builder, matching OptimizeOptions / SessionOptions idiom.
-  ExecuteOptions& WithBudget(ResourceBudget* b) { budget = b; return *this; }
-  ExecuteOptions& WithStats(exec::OperatorStats* s) { stats = s; return *this; }
-  ExecuteOptions& WithExecutor(exec::Executor* e) { executor = e; return *this; }
-  ExecuteOptions& WithFault(FaultInjector* f) { fault = f; return *this; }
-  ExecuteOptions& WithSpill(const exec::SpillConfig* s) {
-    spill = s;
-    return *this;
+// The one place per-call overrides meet per-session defaults. Pointer
+// fields override when non-null; mode enums override when not kAuto (kAuto
+// means "defer to the layer below", so a call that leaves a mode at its
+// default inherits the session's choice -- to force the automatic
+// behaviour against a pinned session default, pass the pinned mode's
+// opposite explicitly); collect_stats is sticky (either layer can turn it
+// on). Replaces the ad-hoc field-by-field logic Session::MergedExec used
+// to carry -- and which silently dropped per-call batch/bloom/join.
+inline ExecPolicy MergeExecPolicy(ExecPolicy base, const ExecPolicy& call) {
+  if (call.budget != nullptr) base.budget = call.budget;
+  if (call.executor != nullptr) base.executor = call.executor;
+  if (call.fault != nullptr) base.fault = call.fault;
+  if (call.spill != nullptr) base.spill = call.spill;
+  if (call.batch != exec::BatchMode::kAuto) base.batch = call.batch;
+  if (call.bloom != exec::BloomMode::kAuto) base.bloom = call.bloom;
+  if (call.join != exec::JoinStrategy::kAuto) base.join = call.join;
+  base.collect_stats = base.collect_stats || call.collect_stats;
+  return base;
+}
+
+// Fluent With* setters over an embedded ExecPolicy, written once and mixed
+// into every option struct that carries one (ExecuteOptions here,
+// SessionOptions in core/session.h). The derived type exposes the policy
+// via `policy()` and gets builders that return its own type, so chains
+// keep working: ExecuteOptions{}.WithBudget(&b).WithStats(&s).
+template <typename Derived>
+struct ExecPolicyBuilder {
+  Derived& WithBudget(ResourceBudget* b) {
+    self().policy().budget = b;
+    return self();
   }
-  ExecuteOptions& WithBatchMode(exec::BatchMode m) {
-    batch = m;
-    return *this;
+  Derived& WithExecutor(exec::Executor* e) {
+    self().policy().executor = e;
+    return self();
   }
-  ExecuteOptions& WithBloomMode(exec::BloomMode m) {
-    bloom = m;
-    return *this;
+  Derived& WithFault(FaultInjector* f) {
+    self().policy().fault = f;
+    return self();
   }
-  ExecuteOptions& WithJoinStrategy(exec::JoinStrategy s) {
-    join = s;
+  Derived& WithSpill(const exec::SpillConfig* s) {
+    self().policy().spill = s;
+    return self();
+  }
+  Derived& WithBatchMode(exec::BatchMode m) {
+    self().policy().batch = m;
+    return self();
+  }
+  Derived& WithBloomMode(exec::BloomMode m) {
+    self().policy().bloom = m;
+    return self();
+  }
+  Derived& WithJoinStrategy(exec::JoinStrategy s) {
+    self().policy().join = s;
+    return self();
+  }
+  Derived& WithCollectStats(bool b = true) {
+    self().policy().collect_stats = b;
+    return self();
+  }
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+// Interpreter options: the shared execution policy (inherited, so
+// `options.budget` etc. keep reading naturally at kernel call sites) plus
+// the interpreter-only stats side channel.
+struct ExecuteOptions : ExecPolicy, ExecPolicyBuilder<ExecuteOptions> {
+  // Optional stats collection root (not owned). When set, Execute fills it
+  // for the plan's root operator and appends one child per plan child.
+  // Serving-layer callers should prefer ExecPolicy::collect_stats, which
+  // returns an owned tree inside the QueryResult.
+  exec::OperatorStats* stats = nullptr;
+
+  ExecPolicy& policy() { return *this; }
+  const ExecPolicy& policy() const { return *this; }
+
+  ExecuteOptions& WithStats(exec::OperatorStats* s) {
+    stats = s;
     return *this;
   }
 };

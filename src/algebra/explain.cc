@@ -155,6 +155,26 @@ std::string Explain(const NodePtr& plan, const CostModel& model) {
   return out;
 }
 
+std::string AnalyzeText(const NodePtr& plan, const CostModel& model,
+                        exec::OperatorStats* stats) {
+  if (plan == nullptr || stats == nullptr) return "";
+  AnnotateEstimates(plan, model, stats);
+  std::string text;
+  RenderAnalyze(plan, *stats, 0, &text);
+
+  std::vector<double> qs;
+  exec::CollectQErrors(*stats, &qs);
+  if (!qs.empty()) {
+    std::sort(qs.begin(), qs.end());
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "q-error over %zu operators: max=%.2f median=%.2f\n",
+                  qs.size(), qs.back(), qs[qs.size() / 2]);
+    text += buf;
+  }
+  return text;
+}
+
 StatusOr<AnalyzeResult> ExplainAnalyze(const NodePtr& plan,
                                        const Catalog& catalog,
                                        const CostModel& model,
@@ -165,19 +185,7 @@ StatusOr<AnalyzeResult> ExplainAnalyze(const NodePtr& plan,
   ExecuteOptions xo = options;
   xo.stats = out.stats.get();
   GSOPT_ASSIGN_OR_RETURN(out.result, Execute(plan, catalog, xo));
-  AnnotateEstimates(plan, model, out.stats.get());
-  RenderAnalyze(plan, *out.stats, 0, &out.text);
-
-  std::vector<double> qs;
-  exec::CollectQErrors(*out.stats, &qs);
-  if (!qs.empty()) {
-    std::sort(qs.begin(), qs.end());
-    char buf[128];
-    std::snprintf(buf, sizeof(buf),
-                  "q-error over %zu operators: max=%.2f median=%.2f\n",
-                  qs.size(), qs.back(), qs[qs.size() / 2]);
-    out.text += buf;
-  }
+  out.text = AnalyzeText(plan, model, out.stats.get());
   return out;
 }
 

@@ -34,10 +34,20 @@ struct AnalyzeResult {
   std::string text;
 };
 
+// Serving-path EXPLAIN ANALYZE: annotates and renders the stats tree of an
+// ALREADY-executed plan -- QueryResult::plan / QueryResult::stats from a
+// Session call made with the collect_stats policy -- without re-executing.
+// Joins the cost model's estimates into `stats` in place. Returns "" for a
+// null plan or stats tree.
+std::string AnalyzeText(const NodePtr& plan, const CostModel& model,
+                        exec::OperatorStats* stats);
+
 // Executes `plan` against `catalog` with stats collection (honouring
 // options.budget), annotates each operator with the cost model's row
 // estimate and renders the tree. Fails with the execution's status if the
-// plan cannot run (budget exhausted, invalid plan, ...).
+// plan cannot run (budget exhausted, invalid plan, ...). Callers going
+// through a Session should prefer WithCollectStats + AnalyzeText, which
+// reuses the serving execution instead of running a second one.
 StatusOr<AnalyzeResult> ExplainAnalyze(const NodePtr& plan,
                                        const Catalog& catalog,
                                        const CostModel& model,

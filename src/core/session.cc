@@ -8,11 +8,11 @@
 
 namespace gsopt {
 
-StatusOr<SessionResult> PreparedStatement::Execute(const ExecOptions& exec) {
+StatusOr<QueryResult> PreparedStatement::Execute(const ExecOptions& exec) {
   return Execute(bound_, exec);
 }
 
-StatusOr<SessionResult> PreparedStatement::Execute(std::vector<Value> params,
+StatusOr<QueryResult> PreparedStatement::Execute(std::vector<Value> params,
                                                    const ExecOptions& exec) {
   GSOPT_CHECK(session_ != nullptr);
   if (static_cast<int>(params.size()) != pq_.num_explicit) {
@@ -41,7 +41,7 @@ StatusOr<SessionResult> PreparedStatement::Execute(std::vector<Value> params,
   // at Prepare time.
   std::vector<Value> values = std::move(params);
   values.insert(values.end(), pq_.lifted.begin(), pq_.lifted.end());
-  StatusOr<SessionResult> result =
+  StatusOr<QueryResult> result =
       session_->ExecuteTemplate(plan_, values, hit, traffic, merged);
   if (result.ok() && deferred) {
     // The re-optimized template proved itself; publish it now. A failing
@@ -101,12 +101,9 @@ std::shared_ptr<const QueryOptimizer> Session::optimizer() {
 }
 
 ExecOptions Session::MergedExec(const ExecOptions& exec) const {
-  ExecOptions merged = options_.exec;
-  if (exec.budget != nullptr) merged.budget = exec.budget;
-  if (exec.stats != nullptr) merged.stats = exec.stats;
-  if (exec.executor != nullptr) merged.executor = exec.executor;
-  if (exec.fault != nullptr) merged.fault = exec.fault;
-  if (exec.spill != nullptr) merged.spill = exec.spill;
+  ExecOptions merged;
+  merged.policy() = MergeExecPolicy(options_.exec, exec.policy());
+  merged.stats = exec.stats;
   return merged;
 }
 
@@ -163,30 +160,40 @@ StatusOr<std::shared_ptr<const CachedPlan>> Session::AcquirePlan(
   return std::shared_ptr<const CachedPlan>(std::move(plan));
 }
 
-StatusOr<SessionResult> Session::ExecuteTemplate(
+StatusOr<QueryResult> Session::ExecuteTemplate(
     const std::shared_ptr<const CachedPlan>& plan,
     const std::vector<Value>& values, bool hit,
     const OptimizerCounters& traffic, const ExecOptions& exec) {
   GSOPT_ASSIGN_OR_RETURN(NodePtr executable,
                          SubstituteParams(plan->plan, values));
+  // collect_stats: grow the stats tree inside the result instead of a
+  // caller-supplied side channel (an explicit ExecOptions::stats pointer
+  // -- the legacy channel -- wins when both are set).
+  ExecOptions run = exec;
+  std::shared_ptr<exec::OperatorStats> owned_stats;
+  if (run.collect_stats && run.stats == nullptr) {
+    owned_stats = std::make_shared<exec::OperatorStats>();
+    run.stats = owned_stats.get();
+  }
   // Transient failures (kUnavailable: short spill I/O, dispatch faults)
   // are retried with bounded exponential backoff; an identical attempt
   // may succeed. Persistent failures (caps, real ENOSPC) propagate
   // immediately.
   int retries = 0;
-  StatusOr<Relation> rows = gsopt::Execute(executable, catalog_, exec);
+  StatusOr<Relation> rows = gsopt::Execute(executable, catalog_, run);
   while (!rows.ok() && rows.status().IsTransient() &&
          retries < options_.max_transient_retries) {
-    // Reset the caller's stats tree: the retry re-runs every operator
-    // from scratch and must not double-count the failed attempt.
-    if (exec.stats != nullptr) *exec.stats = exec::OperatorStats{};
+    // Reset the stats tree: the retry re-runs every operator from
+    // scratch and must not double-count the failed attempt.
+    if (run.stats != nullptr) *run.stats = exec::OperatorStats{};
     std::this_thread::sleep_for(options_.retry_backoff * (1LL << retries));
     ++retries;
-    rows = gsopt::Execute(executable, catalog_, exec);
+    rows = gsopt::Execute(executable, catalog_, run);
   }
   GSOPT_RETURN_IF_ERROR(rows.status());
-  SessionResult out;
-  out.relation = std::move(rows).value();
+  QueryResult out;
+  out.rows = std::move(rows).value();
+  out.stats = std::move(owned_stats);
   out.transient_retries = retries;
   out.plan = std::move(executable);
   out.plan_cost = plan->cost;
@@ -243,7 +250,7 @@ StatusOr<PreparedStatement> Session::Prepare(const std::string& sql,
   return stmt;
 }
 
-StatusOr<SessionResult> Session::ServeParameterized(
+StatusOr<QueryResult> Session::ServeParameterized(
     const ParameterizedQuery& pq, const ExecOptions& exec) {
   if (pq.num_explicit > 0) {
     return Status::InvalidArgument(
@@ -258,7 +265,7 @@ StatusOr<SessionResult> Session::ServeParameterized(
       std::shared_ptr<const CachedPlan> plan,
       AcquirePlan(pq, merged.budget, &epoch, &hit, &traffic,
                   /*defer_install=*/true));
-  StatusOr<SessionResult> result =
+  StatusOr<QueryResult> result =
       ExecuteTemplate(plan, pq.lifted, hit, traffic, merged);
   if (result.ok() && !hit) {
     // Publish the freshly optimized template only once it has executed
@@ -269,7 +276,7 @@ StatusOr<SessionResult> Session::ServeParameterized(
   return result;
 }
 
-StatusOr<SessionResult> Session::Query(const std::string& sql,
+StatusOr<QueryResult> Session::Query(const std::string& sql,
                                        const ExecOptions& exec) {
   if (options_.optimize.max_plans == 0) {
     return Status::InvalidArgument(
@@ -283,7 +290,7 @@ StatusOr<SessionResult> Session::Query(const std::string& sql,
   return ServeParameterized(pq, exec);
 }
 
-StatusOr<SessionResult> Session::Run(const NodePtr& tree,
+StatusOr<QueryResult> Session::Run(const NodePtr& tree,
                                      const ExecOptions& exec) {
   if (tree == nullptr) return Status::InvalidArgument("null query");
   if (options_.optimize.max_plans == 0) {

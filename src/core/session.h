@@ -73,14 +73,20 @@
 
 namespace gsopt {
 
-struct SessionOptions {
+struct SessionOptions : ExecPolicyBuilder<SessionOptions> {
   // Optimizer knobs for cache misses. The signature (mode, prune,
   // simplify, max_plans) is folded into every cache key, so two sessions
   // sharing a cache but differing in knobs never serve each other's plans.
   OptimizeOptions optimize;
-  // Defaults applied to every execution (budget / parallel executor /
-  // stats root); per-call ExecOptions fields override when set.
-  ExecOptions exec;
+  // Default execution policy applied to every call; per-call ExecOptions
+  // override via MergeExecPolicy (pointers when non-null, mode enums when
+  // not kAuto). The With* execution setters come from the shared
+  // ExecPolicyBuilder mixin (algebra/execute.h), so SessionOptions and
+  // ExecuteOptions no longer each re-declare the chain.
+  ExecPolicy exec;
+
+  ExecPolicy& policy() { return exec; }
+  const ExecPolicy& policy() const { return exec; }
   // Disabling the plan cache also disables the statement-text memo:
   // every call re-parses and re-optimizes (the "cold" serving mode
   // benchmarks compare against).
@@ -105,28 +111,11 @@ struct SessionOptions {
   SessionOptions& WithSimplify(bool b) { optimize.simplify = b; return *this; }
   SessionOptions& WithMaxPlans(size_t n) { optimize.max_plans = n; return *this; }
   SessionOptions& WithFallback(bool b) { optimize.fallback = b; return *this; }
-  // One budget for both halves: miss-path optimization and execution.
+  // One budget for both halves: miss-path optimization and execution
+  // (shadows the mixin setter, which only knows the execution half).
   SessionOptions& WithBudget(ResourceBudget* b) {
     optimize.budget = b;
     exec.budget = b;
-    return *this;
-  }
-  SessionOptions& WithExecutor(exec::Executor* e) { exec.executor = e; return *this; }
-  SessionOptions& WithFault(FaultInjector* f) { exec.fault = f; return *this; }
-  SessionOptions& WithSpill(const exec::SpillConfig* s) {
-    exec.spill = s;
-    return *this;
-  }
-  SessionOptions& WithBatchMode(exec::BatchMode m) {
-    exec.batch = m;
-    return *this;
-  }
-  SessionOptions& WithBloomMode(exec::BloomMode m) {
-    exec.bloom = m;
-    return *this;
-  }
-  SessionOptions& WithJoinStrategy(exec::JoinStrategy s) {
-    exec.join = s;
     return *this;
   }
   SessionOptions& WithRetries(int n) { max_transient_retries = n; return *this; }
@@ -140,10 +129,16 @@ struct SessionOptions {
   SessionOptions& WithTextCacheCapacity(size_t n) { text_cache_capacity = n; return *this; }
 };
 
-// Everything one serving call produced: the rows, the (instantiated) plan
-// that computed them, and where the plan came from.
-struct SessionResult {
-  Relation relation;
+// Everything one serving call produced: the rows, the runtime stats, the
+// (instantiated) plan that computed them, and the dispositions a serving
+// layer needs to report -- where the plan came from (cache hit vs fresh
+// optimize), how resource pressure degraded it, and how many transient
+// retries the execution burned. One value, no side channels: the server's
+// wire frames, the shell's \analyze, and the bench drivers all read their
+// fields off this struct instead of threading stats pointers and
+// degradation plumbing through ExecOptions.
+struct QueryResult {
+  Relation rows;
   NodePtr plan;            // executed plan, parameters substituted
   double plan_cost = 0.0;  // cost-model estimate of the template
   // This call reused an existing template (a plan-cache hit, or a
@@ -156,7 +151,21 @@ struct SessionResult {
   // Transient-failure retries the execution needed before succeeding
   // (0 on a clean first attempt; see SessionOptions::max_transient_retries).
   int transient_retries = 0;
+  // Per-operator runtime stats for the executed plan; non-null iff the
+  // merged policy had collect_stats set. A caller that instead passes its
+  // own ExecOptions::stats root keeps the legacy side channel and this
+  // stays null. shared_ptr because OperatorStats owns its children;
+  // copying a QueryResult shares the tree.
+  std::shared_ptr<exec::OperatorStats> stats;
+
+  // Pre-redesign spelling (`result->relation` was a field); kept as a thin
+  // accessor so old call sites need only add parentheses.
+  const Relation& relation() const { return rows; }
+  Relation& relation() { return rows; }
 };
+
+// Pre-redesign name for QueryResult.
+using SessionResult = QueryResult;
 
 class Session;
 
@@ -189,9 +198,9 @@ class PreparedStatement {
   }
 
   // Executes with the values bound via Bind() (or none).
-  StatusOr<SessionResult> Execute(const ExecOptions& exec = {});
+  StatusOr<QueryResult> Execute(const ExecOptions& exec = {});
   // Bind + Execute in one call; does not disturb values set via Bind().
-  StatusOr<SessionResult> Execute(std::vector<Value> params,
+  StatusOr<QueryResult> Execute(std::vector<Value> params,
                                   const ExecOptions& exec = {});
 
   // The fully substituted executable plan for the given explicit values
@@ -231,12 +240,12 @@ class Session {
   // One-shot convenience: Prepare + Execute with no parameters.
   // kInvalidArgument if the SQL contains $n parameters -- those need the
   // Prepare/Bind lifecycle.
-  StatusOr<SessionResult> Query(const std::string& sql,
+  StatusOr<QueryResult> Query(const std::string& sql,
                                 const ExecOptions& exec = {});
 
   // Tree-level entry for callers that already hold a bound algebra tree
   // (tools, fuzz oracles, tests). Same cache-backed pipeline as Query.
-  StatusOr<SessionResult> Run(const NodePtr& tree,
+  StatusOr<QueryResult> Run(const NodePtr& tree,
                               const ExecOptions& exec = {});
 
   PlanCacheStats cache_stats() const { return cache_.Stats(); }
@@ -278,12 +287,12 @@ class Session {
 
   // Shared tail of Query / Run: acquire through the cache, substitute the
   // lifted literals, execute. Rejects unbound $n parameters.
-  StatusOr<SessionResult> ServeParameterized(const ParameterizedQuery& pq,
+  StatusOr<QueryResult> ServeParameterized(const ParameterizedQuery& pq,
                                              const ExecOptions& exec);
 
   // Shared tail of Run / PreparedStatement::Execute: substitute `values`
   // into the template and execute under merged options.
-  StatusOr<SessionResult> ExecuteTemplate(
+  StatusOr<QueryResult> ExecuteTemplate(
       const std::shared_ptr<const CachedPlan>& plan,
       const std::vector<Value>& values, bool hit,
       const OptimizerCounters& traffic, const ExecOptions& exec);

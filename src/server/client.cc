@@ -1,0 +1,184 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gsopt::server {
+
+Status StatusFromWire(ErrorClass cls, const std::string& message) {
+  switch (cls) {
+    case ErrorClass::kOk:
+      return Status::OK();
+    case ErrorClass::kInvalid:
+      return Status::InvalidArgument(message);
+    case ErrorClass::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case ErrorClass::kTransient:
+      return Status::Unavailable(message);
+    case ErrorClass::kShed:
+      return Status::Shed(message);
+    case ErrorClass::kInternal:
+      break;
+  }
+  return Status::Internal(message);
+}
+
+StatusOr<Client> Client::Connect(const std::string& host, uint16_t port,
+                                 const std::string& tenant) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable("socket: " + std::string(::strerror(errno)));
+  }
+  sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Unavailable("connect: " + std::string(::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Client client;
+  client.fd_ = fd;
+  Status s =
+      WriteFrame(fd, FrameType::kHello, EncodeHello(kProtocolVersion, tenant));
+  if (!s.ok()) return s;
+  StatusOr<Frame> reply = ReadFrame(fd);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == FrameType::kError) {
+    ErrorClass cls;
+    std::string message;
+    Status ds = DecodeError(reply.value().payload, &cls, &message);
+    return ds.ok() ? StatusFromWire(cls, message) : ds;
+  }
+  if (reply.value().type != FrameType::kHelloOk) {
+    return Status::Internal("handshake: unexpected frame type");
+  }
+  uint32_t version = 0;
+  std::string info;
+  Status ds = DecodeHelloOk(reply.value().payload, &version, &info);
+  if (!ds.ok()) return ds;
+  return client;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Response> Client::RecvResponse() {
+  StatusOr<Frame> frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  Response resp;
+  resp.type = frame.value().type;
+  switch (frame.value().type) {
+    case FrameType::kRows: {
+      Status s = DecodeRows(frame.value().payload, &resp.result);
+      if (!s.ok()) return s;
+      return resp;
+    }
+    case FrameType::kPrepared: {
+      Status s =
+          DecodePrepared(frame.value().payload, &resp.stmt_id, &resp.num_params);
+      if (!s.ok()) return s;
+      return resp;
+    }
+    case FrameType::kError: {
+      Status s = DecodeError(frame.value().payload, &resp.error_class,
+                             &resp.error_message);
+      if (!s.ok()) return s;
+      return resp;
+    }
+    default:
+      return Status::Internal("unexpected response frame type " +
+                              std::to_string(
+                                  static_cast<int>(frame.value().type)));
+  }
+}
+
+StatusOr<Response> Client::RoundTrip(FrameType type,
+                                     const std::string& payload) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  Status s = WriteFrame(fd_, type, payload);
+  if (!s.ok()) return s;
+  return RecvResponse();
+}
+
+StatusOr<WireResult> Client::Query(const std::string& sql) {
+  StatusOr<Response> resp = RoundTrip(FrameType::kQuery, EncodeSql(sql));
+  if (!resp.ok()) return resp.status();
+  if (resp.value().is_error()) {
+    return StatusFromWire(resp.value().error_class,
+                          resp.value().error_message);
+  }
+  if (resp.value().type != FrameType::kRows) {
+    return Status::Internal("QUERY answered with non-ROWS frame");
+  }
+  return std::move(resp).value().result;
+}
+
+StatusOr<uint64_t> Client::Prepare(const std::string& sql,
+                                   uint32_t* num_params) {
+  StatusOr<Response> resp = RoundTrip(FrameType::kPrepare, EncodeSql(sql));
+  if (!resp.ok()) return resp.status();
+  if (resp.value().is_error()) {
+    return StatusFromWire(resp.value().error_class,
+                          resp.value().error_message);
+  }
+  if (resp.value().type != FrameType::kPrepared) {
+    return Status::Internal("PREPARE answered with non-PREPARED frame");
+  }
+  if (num_params != nullptr) *num_params = resp.value().num_params;
+  return resp.value().stmt_id;
+}
+
+StatusOr<WireResult> Client::Execute(uint64_t stmt_id,
+                                     const std::vector<Value>& params) {
+  StatusOr<Response> resp =
+      RoundTrip(FrameType::kExecute, EncodeExecute(stmt_id, params));
+  if (!resp.ok()) return resp.status();
+  if (resp.value().is_error()) {
+    return StatusFromWire(resp.value().error_class,
+                          resp.value().error_message);
+  }
+  if (resp.value().type != FrameType::kRows) {
+    return Status::Internal("EXECUTE answered with non-ROWS frame");
+  }
+  return std::move(resp).value().result;
+}
+
+Status Client::SendQuery(const std::string& sql) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  return WriteFrame(fd_, FrameType::kQuery, EncodeSql(sql));
+}
+
+Status Client::SendExecute(uint64_t stmt_id,
+                           const std::vector<Value>& params) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  return WriteFrame(fd_, FrameType::kExecute, EncodeExecute(stmt_id, params));
+}
+
+}  // namespace gsopt::server

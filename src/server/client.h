@@ -1,0 +1,86 @@
+// Minimal blocking client for the gsopt wire protocol (tests, loadgen,
+// command-line poking). One Client is one TCP connection; the synchronous
+// helpers (Query/Prepare/Execute) are strict request/response, while the
+// split Send*/RecvResponse surface lets a load generator pipeline
+// requests from one thread and drain responses from another (the two
+// halves are independently thread-safe: one sender and one receiver may
+// run concurrently, but not two senders).
+#ifndef GSOPT_SERVER_CLIENT_H_
+#define GSOPT_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace gsopt::server {
+
+// A decoded server response: exactly one of rows / prepared / error per
+// request.
+struct Response {
+  FrameType type = FrameType::kError;
+  // ERROR fields
+  ErrorClass error_class = ErrorClass::kOk;
+  std::string error_message;
+  // ROWS fields
+  WireResult result;
+  // PREPARED fields
+  uint64_t stmt_id = 0;
+  uint32_t num_params = 0;
+
+  bool is_error() const { return type == FrameType::kError; }
+  bool shed() const {
+    return is_error() && error_class == ErrorClass::kShed;
+  }
+};
+
+// Rebuilds a Status from a wire error class + message, preserving
+// error_class() round-tripping (shed stays shed, transient stays
+// transient) so client-side retry policy can key on the same contract.
+Status StatusFromWire(ErrorClass cls, const std::string& message);
+
+class Client {
+ public:
+  // Connects and runs the HELLO handshake under `tenant`.
+  static StatusOr<Client> Connect(const std::string& host, uint16_t port,
+                                  const std::string& tenant);
+
+  Client() = default;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { Close(); }
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- Synchronous request/response. An ERROR frame comes back as a
+  // non-ok Status whose error_class() matches the wire class.
+
+  StatusOr<WireResult> Query(const std::string& sql);
+  // Returns the statement id; num_params (if non-null) gets the $n count.
+  StatusOr<uint64_t> Prepare(const std::string& sql,
+                             uint32_t* num_params = nullptr);
+  StatusOr<WireResult> Execute(uint64_t stmt_id,
+                               const std::vector<Value>& params);
+
+  // --- Pipelined surface: send without waiting, receive in order.
+
+  Status SendQuery(const std::string& sql);
+  Status SendExecute(uint64_t stmt_id, const std::vector<Value>& params);
+  // Blocks for the next response frame (ROWS/PREPARED/ERROR all decode
+  // into Response).
+  StatusOr<Response> RecvResponse();
+
+ private:
+  StatusOr<Response> RoundTrip(FrameType type, const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace gsopt::server
+
+#endif  // GSOPT_SERVER_CLIENT_H_

@@ -449,7 +449,7 @@ void OracleRunner::RunPlanCache() {
                "literal-invariant for plan=" + got->plan->ToString());
       return;
     }
-    Relation checked = std::move(got->relation);
+    Relation checked = std::move(got->rows);
     if (opt_.mutate_checked_result) opt_.mutate_checked_result(&checked);
     auto expected = Exec(wrapped);
     if (!expected.ok()) {
@@ -1138,7 +1138,7 @@ void OracleRunner::RunChaos() {
         return;
       }
       ++outcome_.plans_checked;
-      if (!Relation::BagEquals(baseline_, clean->relation)) {
+      if (!Relation::BagEquals(baseline_, clean->rows)) {
         Fail(OracleKind::kChaos,
              "clean run after a failed cache miss diverges from the "
              "baseline (poisoned plan-cache template)");

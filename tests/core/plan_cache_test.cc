@@ -123,7 +123,7 @@ TEST(PlanCacheTest, HitAcrossLiteralsIsBagEqualToFreshOptimization) {
       ASSERT_TRUE(fresh.ok());
       auto expect = Execute(fresh->best.expr, cat);
       ASSERT_TRUE(expect.ok());
-      EXPECT_TRUE(Relation::BagEquals(*expect, served->relation))
+      EXPECT_TRUE(Relation::BagEquals(*expect, served->rows))
           << "seed " << seed << " pivot " << pivot;
       EXPECT_EQ(served->cache_hit, pivot != 0) << "pivot " << pivot;
     }
@@ -153,7 +153,7 @@ TEST(PlanCacheTest, CatalogMutationBumpsEpochAndInvalidates) {
   // The re-optimized plan sees the new row.
   auto expect = Execute(q, cat);
   ASSERT_TRUE(expect.ok());
-  EXPECT_TRUE(Relation::BagEquals(*expect, served->relation));
+  EXPECT_TRUE(Relation::BagEquals(*expect, served->rows));
   // And the rebuilt entry serves hits again.
   auto again = session.Run(q);
   ASSERT_TRUE(again.ok());
@@ -213,7 +213,7 @@ TEST(PlanCacheTest, ConcurrentServingStaysExact) {
           return;
         }
         if (!Relation::BagEquals(expected[static_cast<size_t>(pivot)],
-                                 served->relation)) {
+                                 served->rows)) {
           ++wrong;
         }
       }
@@ -246,14 +246,14 @@ TEST(SessionTest, PreparedStatementBindsExplicitParameters) {
   for (int64_t k = 0; k < 4; ++k) {
     auto got = stmt->Bind({Value::Int(k)}).Execute();
     ASSERT_TRUE(got.ok()) << got.status().ToString();
-    EXPECT_EQ(got->relation.NumRows(), 2);
+    EXPECT_EQ(got->rows.NumRows(), 2);
     // Literal equivalent, outside the session.
     auto tree = sql::ParseAndBind(
         "SELECT * FROM t WHERE t.k = " + std::to_string(k), cat);
     ASSERT_TRUE(tree.ok());
     auto expect = Execute(*tree, cat);
     ASSERT_TRUE(expect.ok());
-    EXPECT_TRUE(Relation::BagEquals(*expect, got->relation)) << "k=" << k;
+    EXPECT_TRUE(Relation::BagEquals(*expect, got->rows)) << "k=" << k;
   }
   // The explicit-parameter statement and its literal instantiations share
   // one cached template.
@@ -319,7 +319,7 @@ TEST(SessionTest, TextMemoServesRepeatedSqlAndTracksCatalogVersion) {
   auto memoized = session.Query(sql);
   ASSERT_TRUE(memoized.ok());
   EXPECT_TRUE(memoized->cache_hit);
-  EXPECT_TRUE(Relation::BagEquals(first->relation, memoized->relation));
+  EXPECT_TRUE(Relation::BagEquals(first->rows, memoized->rows));
   // A literal variant is a new text but the same fingerprint: still a
   // plan-cache hit, one entry total.
   auto variant = session.Query("SELECT * FROM t WHERE t.k <= 2");
@@ -331,7 +331,7 @@ TEST(SessionTest, TextMemoServesRepeatedSqlAndTracksCatalogVersion) {
   ASSERT_TRUE(cat.Insert("t", {Value::Int(0), Value::Int(-1)}).ok());
   auto after = session.Query(sql);
   ASSERT_TRUE(after.ok());
-  EXPECT_EQ(after->relation.NumRows(), first->relation.NumRows() + 1);
+  EXPECT_EQ(after->rows.NumRows(), first->rows.NumRows() + 1);
 }
 
 TEST(SessionTest, MissPathExecutionFailureNeverPoisonsTheCache) {
@@ -366,7 +366,7 @@ TEST(SessionTest, MissPathExecutionFailureNeverPoisonsTheCache) {
   // The poisoning guard must not have changed the answer.
   auto expect = Execute(q, cat);
   ASSERT_TRUE(expect.ok());
-  EXPECT_TRUE(Relation::BagEquals(*expect, hit->relation));
+  EXPECT_TRUE(Relation::BagEquals(*expect, hit->rows));
 }
 
 TEST(SessionTest, TransientFaultIsRetriedPersistentIsNot) {
@@ -393,7 +393,7 @@ TEST(SessionTest, TransientFaultIsRetriedPersistentIsNot) {
     EXPECT_EQ(fi.fired_total(), 1u);
     auto expect = Execute(q, cat);
     ASSERT_TRUE(expect.ok());
-    EXPECT_TRUE(Relation::BagEquals(*expect, served->relation));
+    EXPECT_TRUE(Relation::BagEquals(*expect, served->rows));
   }
 
   {  // Persistent (kResourceExhausted): never retried, one fault consumed.
@@ -428,12 +428,12 @@ TEST(SessionTest, CachedPlanSpillsUnderMemoryPressure) {
   Session session(cat, SessionOptions{}.WithBudget(&budget).WithSpill(&spill));
   auto warm = session.Run(q);
   ASSERT_TRUE(warm.ok()) << warm.status().ToString();
-  EXPECT_TRUE(Relation::BagEquals(expect->relation, warm->relation));
+  EXPECT_TRUE(Relation::BagEquals(expect->rows, warm->rows));
   // The cached template's re-execution degrades out-of-core identically.
   auto hit = session.Run(q);
   ASSERT_TRUE(hit.ok());
   EXPECT_TRUE(hit->cache_hit);
-  EXPECT_TRUE(Relation::BagEquals(expect->relation, hit->relation));
+  EXPECT_TRUE(Relation::BagEquals(expect->rows, hit->rows));
   EXPECT_EQ(budget.memory_charged(), 0u);
 }
 
